@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tme4a/internal/nonbond"
+	"tme4a/internal/vec"
+	"tme4a/internal/water"
+)
+
+func main() {
+	box := water.CubicBoxFor(4096)
+	sys := water.Build(16, 16, 16, box, 7)
+	f := make([]vec.V, sys.N())
+	start := time.Now()
+	const n = 5
+	var pairs int
+	for i := 0; i < n; i++ {
+		r := nonbond.Compute(sys.Box, sys.Pos, sys.Q, sys.LJ, 2.3, 0.9, sys.Excl, f)
+		pairs = r.Pairs
+	}
+	fmt.Printf("per call: %v, pairs=%d\n", time.Since(start)/n, pairs)
+}

@@ -1,0 +1,12 @@
+// Package tme4a is a from-scratch Go reproduction of "Hardware
+// Acceleration of Tensor-Structured Multilevel Ewald Summation Method on
+// MDGRAPE-4A" (Morimoto et al., SC '21): the TME long-range electrostatics
+// algorithm, its SPME and B-spline-MSM comparators, a complete molecular-
+// dynamics engine, and a functional + timing model of the MDGRAPE-4A
+// special-purpose machine (LRU, GCU, 3D torus, TMENW octree, FPGA FFT).
+//
+// The library lives under internal/; the runnable surfaces are the
+// examples/ programs, the cmd/tmebench experiment harness that regenerates
+// every table and figure of the paper, and the top-level benchmarks in
+// bench_test.go. See README.md, DESIGN.md and EXPERIMENTS.md.
+package tme4a

@@ -1,0 +1,75 @@
+// Waterstructure: run thermostatted TIP3P water MD with TME long-range
+// electrostatics and measure the oxygen–oxygen radial distribution
+// function — the standard end-to-end physics check of an MD stack
+// (liquid TIP3P has its first O–O peak near 0.28 nm).
+//
+// Run with: go run ./examples/waterstructure [-steps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"tme4a/internal/analysis"
+	"tme4a/internal/core"
+	"tme4a/internal/md"
+	"tme4a/internal/spme"
+	"tme4a/internal/water"
+)
+
+func main() {
+	steps := flag.Int("steps", 400, "production MD steps (1 fs)")
+	flag.Parse()
+
+	const side = 8 // 512 waters
+	box := water.CubicBoxFor(side * side * side)
+	sys := water.Build(side, side, side, box, 17)
+	fmt.Printf("TIP3P water: %d molecules, %.3f nm box\n", side*side*side, box.L[0])
+
+	rc := 0.9
+	alpha := spme.AlphaFromRTol(rc, 1e-4)
+	mesh := core.New(core.Params{
+		Alpha: alpha, Rc: rc, Order: 6,
+		N: [3]int{16, 16, 16}, Levels: 1, M: 3, Gc: 8,
+	}, box)
+	sys.InitVelocities(300, rand.New(rand.NewSource(5)))
+	integ := &md.Integrator{
+		FF:         &md.ForceField{Alpha: alpha, Rc: rc, Skin: 0.15, Mesh: mesh},
+		Dt:         0.001,
+		Thermostat: &md.CSVR{T: 300, Tau: 0.05, Rng: rand.New(rand.NewSource(6))},
+	}
+
+	// Equilibrate, then sample g(r) and the diffusion coefficient.
+	fmt.Println("equilibrating 200 steps at 300 K (CSVR)...")
+	integ.Run(sys, 200, nil)
+
+	oxy := make([]int, 0, side*side*side)
+	for _, w := range sys.RigidWaters {
+		oxy = append(oxy, w[0])
+	}
+	rdf := analysis.NewRDF(box.L[0]/2*0.95, 90)
+	msd := analysis.NewMSD(sys.Box, sys.Pos)
+	fmt.Printf("sampling %d production steps...\n", *steps)
+	integ.Run(sys, *steps, func(s int, e md.Energies) {
+		if s%10 == 0 {
+			rdf.AddFrame(sys.Box, sys.Pos, oxy, oxy)
+			msd.AddFrame(sys.Pos)
+		}
+	})
+
+	peak, height := rdf.FirstPeak(0.2)
+	fmt.Printf("\nO–O g(r) first peak: r = %.3f nm, g = %.2f\n", peak, height)
+	fmt.Println("(experimental/TIP3P literature: r ≈ 0.276 nm, g ≈ 2.5–3)")
+	d := msd.DiffusionCoefficient(0.010)
+	fmt.Printf("diffusion coefficient ≈ %.2e nm²/ps (TIP3P literature ~5e-3)\n", d)
+	fmt.Printf("final temperature: %.0f K\n", sys.Temperature())
+
+	rs, g := rdf.G()
+	fmt.Println("\nr_nm,g_OO")
+	for i := range rs {
+		if i%3 == 0 {
+			fmt.Printf("%.3f,%.3f\n", rs[i], g[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module tme4a
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package celllist provides a linked-cell spatial decomposition for
+// range-limited pair interactions under periodic boundary conditions.
+//
+// The same cell structure mirrors the MDGRAPE-4A spatial decomposition: the
+// machine assigns rectangular cells of at most 64 atoms to nodes, and the
+// nonbond pipelines enumerate half-shell cell pairs exactly as ForEachPair
+// does here.
+//
+// Performance note: the periodic image shift of every cell pair is known
+// from the stencil, so candidate pairs are tested with three subtractions
+// and a compare — no per-pair minimum-image rounding.
+package celllist
+
+import (
+	"tme4a/internal/vec"
+)
+
+// List is a linked-cell list over a periodic box.
+type List struct {
+	Box    vec.Box
+	Cutoff float64
+	// nc is the number of cells along each axis; at least 1.
+	nc [3]int
+	// head[c] is the first atom in cell c, next[i] the next atom after i,
+	// −1 terminated.
+	head []int32
+	next []int32
+	// wrapped holds box-wrapped copies of the build positions, used for
+	// shift-based displacement computation.
+	wrapped []vec.V
+	n       int
+	direct  bool // too few cells for the stencil; fall back to O(N²)
+}
+
+// Build constructs a cell list for the positions. Cells are at least cutoff
+// wide, so all pairs within cutoff are found inside the 3×3×3 stencil. If
+// the box is too small for a 3-cell decomposition along every axis the list
+// falls back to direct all-pairs enumeration.
+func Build(box vec.Box, cutoff float64, pos []vec.V) *List {
+	l := &List{Box: box, Cutoff: cutoff, n: len(pos)}
+	for j := 0; j < 3; j++ {
+		l.nc[j] = int(box.L[j] / cutoff)
+		if l.nc[j] < 1 {
+			l.nc[j] = 1
+		}
+	}
+	if l.nc[0] < 3 || l.nc[1] < 3 || l.nc[2] < 3 {
+		l.direct = true
+		return l
+	}
+	ncells := l.nc[0] * l.nc[1] * l.nc[2]
+	l.head = make([]int32, ncells)
+	for i := range l.head {
+		l.head[i] = -1
+	}
+	l.next = make([]int32, len(pos))
+	l.wrapped = make([]vec.V, len(pos))
+	for i, r := range pos {
+		w := box.Wrap(r)
+		l.wrapped[i] = w
+		c := l.cellIndex(w)
+		l.next[i] = l.head[c]
+		l.head[c] = int32(i)
+	}
+	return l
+}
+
+func (l *List) cellIndex(r vec.V) int {
+	var c [3]int
+	for j := 0; j < 3; j++ {
+		c[j] = int(r[j] / l.Box.L[j] * float64(l.nc[j]))
+		if c[j] >= l.nc[j] {
+			c[j] = l.nc[j] - 1
+		}
+		if c[j] < 0 {
+			c[j] = 0
+		}
+	}
+	return c[0] + l.nc[0]*(c[1]+l.nc[1]*c[2])
+}
+
+// NCells returns the cell counts per axis (1,1,1 in direct mode).
+func (l *List) NCells() [3]int { return l.nc }
+
+// Direct reports whether the list fell back to all-pairs enumeration.
+func (l *List) Direct() bool { return l.direct }
+
+// halfStencil is the 13-cell half stencil; together with i<j ordering
+// inside the home cell this visits every pair exactly once.
+var halfStencil = [13][3]int{
+	{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+	{1, 1, 0}, {1, -1, 0}, {1, 0, 1}, {1, 0, -1},
+	{0, 1, 1}, {0, 1, -1},
+	{1, 1, 1}, {1, 1, -1}, {1, -1, 1}, {1, -1, -1},
+}
+
+// ForEachPair calls fn(i, j, d, r2) for every unordered pair (i, j) with
+// minimum-image displacement d = r_i − r_j and squared distance r2 ≤
+// cutoff². The pos slice must be the one passed to Build (it is only used
+// in direct mode; cell mode uses the wrapped copies).
+func (l *List) ForEachPair(pos []vec.V, fn func(i, j int, d vec.V, r2 float64)) {
+	rc2 := l.Cutoff * l.Cutoff
+	if l.direct {
+		for i := 0; i < l.n; i++ {
+			for j := i + 1; j < l.n; j++ {
+				d := l.Box.MinImage(pos[i].Sub(pos[j]))
+				if r2 := d.Norm2(); r2 <= rc2 {
+					fn(i, j, d, r2)
+				}
+			}
+		}
+		return
+	}
+	nx, ny, nz := l.nc[0], l.nc[1], l.nc[2]
+	w := l.wrapped
+	for cz := 0; cz < nz; cz++ {
+		for cy := 0; cy < ny; cy++ {
+			for cx := 0; cx < nx; cx++ {
+				home := cx + nx*(cy+ny*cz)
+				// Pairs within the home cell: never wrap.
+				for i := l.head[home]; i >= 0; i = l.next[i] {
+					wi := w[i]
+					for j := l.next[i]; j >= 0; j = l.next[j] {
+						dx := wi[0] - w[j][0]
+						dy := wi[1] - w[j][1]
+						dz := wi[2] - w[j][2]
+						r2 := dx*dx + dy*dy + dz*dz
+						if r2 <= rc2 {
+							fn(int(i), int(j), vec.V{dx, dy, dz}, r2)
+						}
+					}
+				}
+				// Pairs with the half stencil: the image shift is fixed
+				// per cell pair.
+				for _, s := range halfStencil {
+					ox, sx := wrapCell(cx+s[0], nx, l.Box.L[0])
+					oy, sy := wrapCell(cy+s[1], ny, l.Box.L[1])
+					oz, sz := wrapCell(cz+s[2], nz, l.Box.L[2])
+					other := ox + nx*(oy+ny*oz)
+					for i := l.head[home]; i >= 0; i = l.next[i] {
+						// Precompute r_i + shift so the inner loop is three
+						// subtractions and a compare.
+						px := w[i][0] + sx
+						py := w[i][1] + sy
+						pz := w[i][2] + sz
+						for j := l.head[other]; j >= 0; j = l.next[j] {
+							dx := px - w[j][0]
+							dy := py - w[j][1]
+							dz := pz - w[j][2]
+							r2 := dx*dx + dy*dy + dz*dz
+							if r2 <= rc2 {
+								fn(int(i), int(j), vec.V{dx, dy, dz}, r2)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// wrapCell maps a possibly out-of-range cell index into the box and
+// returns the position shift that must be ADDED to home-cell atom
+// coordinates so that differences against atoms of the wrapped cell give
+// the nearest-image displacement.
+func wrapCell(c, n int, boxL float64) (int, float64) {
+	if c < 0 {
+		// The neighbour's atoms sit near the far edge; their nearest image
+		// is one box length below, i.e. home coordinates shift up by +L.
+		return c + n, +boxL
+	}
+	if c >= n {
+		return c - n, -boxL
+	}
+	return c, 0
+}

@@ -1,0 +1,141 @@
+package celllist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tme4a/internal/vec"
+)
+
+func randomPositions(rng *rand.Rand, n int, box vec.Box) []vec.V {
+	pos := make([]vec.V, n)
+	for i := range pos {
+		pos[i] = vec.New(rng.Float64()*box.L[0], rng.Float64()*box.L[1], rng.Float64()*box.L[2])
+	}
+	return pos
+}
+
+func brutePairs(box vec.Box, pos []vec.V, rc float64) map[string]bool {
+	out := map[string]bool{}
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			d := box.MinImage(pos[i].Sub(pos[j]))
+			if d.Norm2() <= rc*rc {
+				out[key(i, j)] = true
+			}
+		}
+	}
+	return out
+}
+
+func key(i, j int) string {
+	if i > j {
+		i, j = j, i
+	}
+	return fmt.Sprintf("%d-%d", i, j)
+}
+
+func TestPairsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		n   int
+		box vec.Box
+		rc  float64
+	}{
+		{100, vec.Cubic(5), 1.0},  // many cells
+		{80, vec.Cubic(3.2), 1.0}, // exactly 3 cells per axis
+		{50, vec.Cubic(2.0), 1.0}, // too few cells: direct fallback
+		{60, vec.NewBox(6, 4, 3.5), 1.1},
+	}
+	for ci, c := range cases {
+		pos := randomPositions(rng, c.n, c.box)
+		want := brutePairs(c.box, pos, c.rc)
+		got := map[string]bool{}
+		var dup bool
+		cl := Build(c.box, c.rc, pos)
+		cl.ForEachPair(pos, func(i, j int, d vec.V, r2 float64) {
+			k := key(i, j)
+			if got[k] {
+				dup = true
+			}
+			got[k] = true
+		})
+		if dup {
+			t.Errorf("case %d: duplicate pairs emitted", ci)
+		}
+		if len(got) != len(want) {
+			t.Errorf("case %d: %d pairs, want %d (direct=%v)", ci, len(got), len(want), cl.Direct())
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("case %d: missing pair %s", ci, k)
+			}
+		}
+	}
+}
+
+func TestDisplacementConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	box := vec.Cubic(6)
+	pos := randomPositions(rng, 200, box)
+	cl := Build(box, 1.2, pos)
+	cl.ForEachPair(pos, func(i, j int, d vec.V, r2 float64) {
+		// Shift-based displacements agree with MinImage to rounding.
+		want := box.MinImage(pos[i].Sub(pos[j]))
+		if d.Sub(want).Norm() > 1e-12 {
+			t.Fatalf("pair (%d,%d): displacement %v, want %v", i, j, d, want)
+		}
+		if math.Abs(r2-d.Norm2()) > 1e-12 {
+			t.Fatalf("pair (%d,%d): r2 mismatch", i, j)
+		}
+	})
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	box := vec.Cubic(5)
+	for _, n := range []int{0, 1} {
+		pos := make([]vec.V, n)
+		cl := Build(box, 1, pos)
+		count := 0
+		cl.ForEachPair(pos, func(i, j int, d vec.V, r2 float64) { count++ })
+		if count != 0 {
+			t.Errorf("n=%d: got %d pairs", n, count)
+		}
+	}
+}
+
+func TestWrappedPositionsOutsideBox(t *testing.T) {
+	// Positions far outside the primary box must still be binned correctly.
+	box := vec.Cubic(4)
+	pos := []vec.V{vec.New(-3.9, 8.1, 0.5), vec.New(0.2, 0.2, 0.4)}
+	cl := Build(box, 1.0, pos)
+	found := 0
+	cl.ForEachPair(pos, func(i, j int, d vec.V, r2 float64) { found++ })
+	if found != 1 {
+		t.Errorf("found %d pairs, want 1", found)
+	}
+}
+
+func TestStencilCoverage(t *testing.T) {
+	// Every of the 26 neighbour offsets must be reachable exactly once by
+	// the half stencil in either direction.
+	seen := map[[3]int]int{}
+	for _, s := range halfStencil {
+		seen[s]++
+		seen[[3]int{-s[0], -s[1], -s[2]}]++
+	}
+	if len(seen) != 26 {
+		t.Fatalf("stencil covers %d offsets, want 26", len(seen))
+	}
+	var keys [][3]int
+	for k, c := range seen {
+		if c != 1 {
+			t.Errorf("offset %v covered %d times", k, c)
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return fmt.Sprint(keys[a]) < fmt.Sprint(keys[b]) })
+}

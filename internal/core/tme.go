@@ -1,0 +1,208 @@
+// Package core implements the paper's primary contribution: the
+// tensor-structured multilevel Ewald summation method (TME).
+//
+// TME splits the Coulomb potential (paper Eq. (4)) as
+//
+//	1/r = erfc(αr)/r + Σ_{l=1..L} g_{α,l}(r) + erf(α r/2^L)/r
+//
+// where the middle-range shells g_{α,l}(r) = [erf(αr/2^{l−1}) − erf(αr/2^l)]/r
+// are approximated by M-term Gaussian sums via Gauss–Legendre quadrature
+// (Eq. (6)–(7)) and represented on level-l grids with per-axis 1D B-spline
+// kernels (Eq. (8)–(11)), so their 3D convolutions become separable — the
+// tensor structure that maps onto the MDGRAPE-4A GCU and its 3D torus.
+// The top-level term is solved by SPME with α/2^L on the N/2^L grid (the
+// computation of the root FPGA), and levels are connected by the exact
+// two-scale restriction/prolongation of even-order B-splines.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tme4a/internal/bspline"
+	"tme4a/internal/ewald"
+	"tme4a/internal/grid"
+	"tme4a/internal/pmesh"
+	"tme4a/internal/quad"
+	"tme4a/internal/spme"
+	"tme4a/internal/topol"
+	"tme4a/internal/units"
+	"tme4a/internal/vec"
+)
+
+// Params configures a TME solver. The paper's hardware operating point is
+// Order = 6, N = 32³ or 64³, Levels = 1 or 2, Gc ∈ {8, 12}, M ≤ 4.
+type Params struct {
+	Alpha  float64 // Ewald splitting parameter (nm⁻¹)
+	Rc     float64 // short-range cutoff (nm)
+	Order  int     // B-spline order p (even)
+	N      [3]int  // finest grid dimensions (each divisible by 2^Levels)
+	Levels int     // number of middle-range levels L ≥ 1
+	M      int     // Gaussians per middle-range shell
+	Gc     int     // grid-kernel cutoff g_c (1D kernels span |m| ≤ g_c)
+}
+
+// Solver holds the precomputed kernels and meshers for a fixed box.
+type Solver struct {
+	Prm    Params
+	Box    vec.Box
+	Mesher *pmesh.Mesher // finest-grid charge assignment / back interpolation
+
+	j    []float64      // two-scale coefficients
+	kern [][3][]float64 // kern[ν][axis]: 1D kernels K^{ν,j}, length 2·Gc+1
+	top  *spme.Solver   // top-level SPME (α/2^L on N/2^L)
+}
+
+// New validates parameters and precomputes all kernels.
+func New(prm Params, box vec.Box) *Solver {
+	if prm.Levels < 1 {
+		panic("core: TME needs at least one middle level")
+	}
+	if prm.M < 1 {
+		panic("core: TME needs at least one Gaussian per shell")
+	}
+	if prm.Order%2 != 0 || prm.Order < 2 {
+		panic(fmt.Sprintf("core: order must be even and >= 2, got %d", prm.Order))
+	}
+	var topN [3]int
+	for jx := 0; jx < 3; jx++ {
+		d := prm.N[jx] >> prm.Levels
+		if d<<prm.Levels != prm.N[jx] {
+			panic(fmt.Sprintf("core: grid dim %d not divisible by 2^%d", prm.N[jx], prm.Levels))
+		}
+		topN[jx] = d
+	}
+	s := &Solver{
+		Prm:    prm,
+		Box:    box,
+		Mesher: pmesh.NewMesher(prm.Order, prm.N, box),
+		j:      bspline.TwoScale(prm.Order),
+	}
+	// Gaussian-sum nodes and weights (Eq. (7)).
+	nodes, weights := quad.GaussLegendre(prm.M)
+	h := s.Mesher.H()
+	s.kern = make([][3][]float64, prm.M)
+	for v := 0; v < prm.M; v++ {
+		alphaV := (3 - nodes[v]) / 4 * prm.Alpha
+		cV := prm.Alpha * weights[v] / (2 * math.Sqrt(math.Pi))
+		c3 := math.Cbrt(cV)
+		for axis := 0; axis < 3; axis++ {
+			k := bspline.GridKernel(prm.Order, alphaV*h[axis], prm.Gc)
+			for i := range k {
+				k[i] *= c3
+			}
+			s.kern[v][axis] = k
+		}
+	}
+	// Top level: SPME with α/2^L on the restricted grid.
+	s.top = spme.New(spme.Params{
+		Alpha: prm.Alpha / math.Pow(2, float64(prm.Levels)),
+		Rc:    prm.Rc,
+		Order: prm.Order,
+		N:     topN,
+	}, box)
+	return s
+}
+
+// TopSolver exposes the top-level SPME solver (used by the hardware model
+// and diagnostics).
+func (s *Solver) TopSolver() *spme.Solver { return s.top }
+
+// Kernels returns the per-Gaussian 1D grid kernels (read-only).
+func (s *Solver) Kernels() [][3][]float64 { return s.kern }
+
+// TwoScale returns the restriction/prolongation coefficients (read-only).
+func (s *Solver) TwoScale() []float64 { return s.j }
+
+// levelConv applies the separable middle-range convolution of level l
+// (1-based) to the level-l charge grid, returning the level-l potential
+// contribution in kJ mol⁻¹ e⁻¹ (paper Eq. (9)–(11) with the 1/2^{l−1}
+// prefactor and Coulomb conversion folded in).
+func (s *Solver) levelConv(q *grid.G, l int) *grid.G {
+	scale := units.Coulomb / math.Pow(2, float64(l-1))
+	var phi *grid.G
+	for v := 0; v < s.Prm.M; v++ {
+		c := grid.ConvSeparable(q, s.kern[v][0], s.kern[v][1], s.kern[v][2])
+		if phi == nil {
+			phi = c
+		} else {
+			phi.AddGrid(c)
+		}
+	}
+	phi.Scale(scale)
+	return phi
+}
+
+// MeshPotential runs the full grid pipeline — charge assignment,
+// restrictions, per-level separable convolutions, top-level SPME,
+// prolongations — and returns the finest-grid potential.
+// It is exposed separately so the hardware simulator can compare its
+// fixed-point datapath against this double-precision reference stage by
+// stage.
+func (s *Solver) MeshPotential(pos []vec.V, q []float64) *grid.G {
+	qg := s.Mesher.Assign(pos, q)
+	return s.meshPotentialFromCharges(qg)
+}
+
+func (s *Solver) meshPotentialFromCharges(qg *grid.G) *grid.G {
+	L := s.Prm.Levels
+	// Downward pass: restrict charges level by level.
+	charges := make([]*grid.G, L+2) // 1-based levels; [L+1] is the top grid
+	charges[1] = qg
+	for l := 1; l <= L; l++ {
+		charges[l+1] = grid.Restrict(charges[l], s.j)
+	}
+	// Top-level SPME convolution (the TMENW/root-FPGA computation).
+	phi := s.top.PotentialGrid(charges[L+1])
+	// Upward pass: prolong and add each level's separable convolution.
+	for l := L; l >= 1; l-- {
+		up := grid.Prolong(phi, s.j)
+		up.AddGrid(s.levelConv(charges[l], l))
+		phi = up
+	}
+	return phi
+}
+
+// LongRange computes the mesh (long-range) part of the Coulomb energy plus
+// the Ewald self energy, accumulating forces into f (may be nil).
+func (s *Solver) LongRange(pos []vec.V, q []float64, f []vec.V) float64 {
+	phi := s.MeshPotential(pos, q)
+	e := s.Mesher.Interpolate(phi, pos, q, f)
+	return e + ewald.SelfEnergy(q, s.Prm.Alpha)
+}
+
+// Coulomb computes the full TME Coulomb energy — short-range erfc + mesh +
+// self + exclusion corrections — accumulating forces into f (may be nil).
+func (s *Solver) Coulomb(pos []vec.V, q []float64, excl *topol.Exclusions, f []vec.V) float64 {
+	e := ewald.RealSpace(s.Box, pos, q, s.Prm.Alpha, s.Prm.Rc, excl, f)
+	e += s.LongRange(pos, q, f)
+	e += ewald.ExclusionCorrection(s.Box, pos, q, s.Prm.Alpha, excl, f)
+	return e
+}
+
+// ShellExact evaluates the middle-range shell g_{α,l}(r) =
+// [erf(αr/2^{l−1}) − erf(αr/2^l)]/r (paper Eq. (5)); at r = 0 it returns the
+// finite limit α/(2^{l−1}√π)·(2 − 1) = α/(2^{l−1}√π).
+func ShellExact(alpha float64, l int, r float64) float64 {
+	scale := math.Pow(2, float64(l-1))
+	a := alpha / scale
+	if r == 0 {
+		return a / math.Sqrt(math.Pi)
+	}
+	return (math.Erf(a*r) - math.Erf(a*r/2)) / r
+}
+
+// ShellApprox evaluates the M-term Gaussian-sum approximation of
+// g_{α,l}(r) (paper Eq. (6)–(7)).
+func ShellApprox(alpha float64, l, m int, r float64) float64 {
+	nodes, weights := quad.GaussLegendre(m)
+	scale := math.Pow(2, float64(l-1))
+	var s float64
+	for v := 0; v < m; v++ {
+		av := (3 - nodes[v]) / 4 * alpha
+		cv := alpha * weights[v] / (2 * math.Sqrt(math.Pi))
+		x := av * r / scale
+		s += cv * math.Exp(-x*x)
+	}
+	return s / scale
+}

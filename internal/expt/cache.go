@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tme4a/internal/vec"
+)
+
+// cachedForces stores a configuration and its reference forces on disk so
+// that the expensive reference Ewald summation runs once per workload.
+type cachedForces struct {
+	Pos    []vec.V
+	Energy float64
+	Forces []vec.V
+}
+
+func cachePath(dir, key string) string {
+	return filepath.Join(dir, key+".gob")
+}
+
+// loadCache returns the cached entry if present and consistent with pos.
+func loadCache(dir, key string, pos []vec.V) (*cachedForces, bool) {
+	if dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(cachePath(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var c cachedForces
+	if err := gob.NewDecoder(f).Decode(&c); err != nil {
+		return nil, false
+	}
+	if len(c.Pos) != len(pos) {
+		return nil, false
+	}
+	for i := range pos {
+		if c.Pos[i] != pos[i] {
+			return nil, false
+		}
+	}
+	return &c, true
+}
+
+// storeCache persists an entry; failures are non-fatal (cache only).
+func storeCache(dir, key string, c *cachedForces) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(cachePath(dir, key))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		return fmt.Errorf("expt: encoding cache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package expt implements the paper's experiments — one runner per table
+// and figure — shared by the cmd/tmebench harness and the repository-level
+// benchmarks. Each runner writes the same rows/series the paper reports
+// and returns them for programmatic checks; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"tme4a/internal/core"
+)
+
+// Fig3Point is one sample of the Gaussian-approximation study.
+type Fig3Point struct {
+	X      float64 // αr/2^{l−1}
+	Exact  float64 // g_{α,l}(r)/g_{α,l}(0)
+	Approx map[int]float64
+	Err    map[int]float64
+}
+
+// RunFig3 evaluates Fig. 3(a) and (b): the normalized middle-range shell
+// g_{α,l}(r)/g_{α,l}(0) against its M-term Gaussian-sum approximations and
+// their absolute errors, for M = 1..maxM, over x = αr/2^{l−1} ∈ [0, xMax].
+// Both panels are invariant in α and l (Eq. (5)); α is set to 1 and l to 1.
+func RunFig3(maxM, samples int, xMax float64, w io.Writer) []Fig3Point {
+	const alpha = 1.0
+	g0 := core.ShellExact(alpha, 1, 0)
+	pts := make([]Fig3Point, 0, samples+1)
+	if w != nil {
+		fmt.Fprintf(w, "# Fig 3: x = alpha*r/2^(l-1); exact = g/g(0); approx/err per M\n")
+		fmt.Fprintf(w, "x,exact")
+		for m := 1; m <= maxM; m++ {
+			fmt.Fprintf(w, ",approx_M%d,err_M%d", m, m)
+		}
+		fmt.Fprintln(w)
+	}
+	for i := 0; i <= samples; i++ {
+		x := xMax * float64(i) / float64(samples)
+		r := x / alpha
+		p := Fig3Point{
+			X:      x,
+			Exact:  core.ShellExact(alpha, 1, r) / g0,
+			Approx: map[int]float64{},
+			Err:    map[int]float64{},
+		}
+		for m := 1; m <= maxM; m++ {
+			a := core.ShellApprox(alpha, 1, m, r) / g0
+			p.Approx[m] = a
+			p.Err[m] = abs(a - p.Exact)
+		}
+		pts = append(pts, p)
+		if w != nil {
+			fmt.Fprintf(w, "%.4f,%.8e", p.X, p.Exact)
+			for m := 1; m <= maxM; m++ {
+				fmt.Fprintf(w, ",%.8e,%.3e", p.Approx[m], p.Err[m])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return pts
+}
+
+// MaxErr returns the maximum approximation error over the series for a
+// given M (the quantity plotted in Fig. 3(b)).
+func MaxErr(pts []Fig3Point, m int) float64 {
+	var e float64
+	for _, p := range pts {
+		if p.Err[m] > e {
+			e = p.Err[m]
+		}
+	}
+	return e
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

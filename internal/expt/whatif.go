@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"tme4a/internal/hw/machine"
+)
+
+// WhatIfRow is one design variant of the Sec. VI.B discussion.
+type WhatIfRow struct {
+	Variant     string
+	LongRangeUs float64
+	StepUs      float64
+}
+
+// RunWhatIf evaluates the acceleration options the paper's discussion
+// (Sec. VI.B) proposes, against the built machine:
+//
+//   - a 4× faster top-level FFT (larger FPGA / higher clock, Sec. IV.C);
+//   - direct SoC–FPGA connection (removing TMENW tree stages and their
+//     software overhead, Sec. VI.B);
+//   - a doubled-throughput GCU ("performance and parallelization of the
+//     GCU should increase");
+//   - lighter CGP orchestration ("the management of hierarchical processes
+//     should be more integrated in hardware");
+//   - all of the above combined.
+func RunWhatIf(h *HWContext, w io.Writer) []WhatIfRow {
+	base := h.Cfg
+
+	variants := []struct {
+		name string
+		mod  func(machine.Config) machine.Config
+	}{
+		{"built machine", func(c machine.Config) machine.Config { return c }},
+		{"4x faster FPGA FFT", func(c machine.Config) machine.Config {
+			c.TopSolveNs /= 4
+			return c
+		}},
+		{"direct SoC-FPGA link", func(c machine.Config) machine.Config {
+			// One fewer tree stage and lighter per-stage overhead.
+			c.Octree.GatherStages = 2
+			c.Octree.StageOverhead = 300
+			return c
+		}},
+		{"2x GCU throughput", func(c machine.Config) machine.Config {
+			c.GCUPointsCycle *= 2
+			c.Cal.GCUConvSlackNs /= 2
+			return c
+		}},
+		{"hardware event manager (CGP gaps -> 0.5 us)", func(c machine.Config) machine.Config {
+			c.Cal.CGPPhaseOverheadNs = 500
+			return c
+		}},
+		{"all combined", func(c machine.Config) machine.Config {
+			c.TopSolveNs /= 4
+			c.Octree.GatherStages = 2
+			c.Octree.StageOverhead = 300
+			c.GCUPointsCycle *= 2
+			c.Cal.GCUConvSlackNs /= 2
+			c.Cal.CGPPhaseOverheadNs = 500
+			return c
+		}},
+	}
+
+	var rows []WhatIfRow
+	if w != nil {
+		fmt.Fprintf(w, "# Sec VI.B design-space: long-range latency under proposed accelerations\n")
+		fmt.Fprintf(w, "variant,long_range_us,step_us\n")
+	}
+	for _, v := range variants {
+		cfg := v.mod(base)
+		rep := cfg.SimulateStep(h.Workload, h.Prm, true)
+		row := WhatIfRow{Variant: v.name, LongRangeUs: rep.LR.Total / 1e3, StepUs: rep.StepNs / 1e3}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprintf(w, "%s,%.1f,%.1f\n", row.Variant, row.LongRangeUs, row.StepUs)
+		}
+	}
+	return rows
+}

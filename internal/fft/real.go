@@ -1,0 +1,201 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// RealPlan transforms N real samples using an N/2-point complex FFT (the
+// classic packing trick), producing the non-redundant half spectrum
+// X[0..N/2] (N/2+1 bins; X[0] and X[N/2] are real).
+type RealPlan struct {
+	n    int
+	half *Plan
+	// w[k] = e^{-2πi k/n}, k = 0..n/2.
+	w []complex128
+}
+
+// NewRealPlan returns a plan for even power-of-two length n ≥ 2.
+func NewRealPlan(n int) *RealPlan {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: real length %d is not a power of two ≥ 2", n))
+	}
+	p := &RealPlan{n: n, half: NewPlan(n / 2)}
+	p.w = make([]complex128, n/2+1)
+	for k := range p.w {
+		theta := -2 * math.Pi * float64(k) / float64(n)
+		p.w[k] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	return p
+}
+
+// Len returns the real transform length.
+func (p *RealPlan) Len() int { return p.n }
+
+// Forward computes the half spectrum of the n real samples into dst
+// (length n/2+1). scratch must have length ≥ n/2.
+func (p *RealPlan) Forward(src []float64, dst, scratch []complex128) {
+	n := p.n
+	h := n / 2
+	c := scratch[:h]
+	for j := 0; j < h; j++ {
+		c[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half.Forward(c)
+	// Unpack: A[k] = E[k] + W^k·O[k], with
+	// E[k] = (C[k]+conj(C[h−k]))/2, O[k] = (C[k]−conj(C[h−k]))/(2i).
+	for k := 0; k <= h; k++ {
+		var ck, chk complex128
+		if k == h {
+			ck = c[0]
+		} else {
+			ck = c[k]
+		}
+		if k == 0 {
+			chk = c[0]
+		} else {
+			chk = c[h-k]
+		}
+		cc := complex(real(chk), -imag(chk))
+		e := (ck + cc) * 0.5
+		o := (ck - cc) * complex(0, -0.5)
+		dst[k] = e + p.w[k]*o
+	}
+}
+
+// Inverse reconstructs n real samples from the half spectrum src (length
+// n/2+1), including the 1/n normalization. scratch must have length ≥ n/2.
+func (p *RealPlan) Inverse(src []complex128, dst []float64, scratch []complex128) {
+	n := p.n
+	h := n / 2
+	c := scratch[:h]
+	// Repack: C[k] = E[k] + i·W^{-k}... invert the unpacking:
+	// E[k] = (A[k]+conj(A[h−k]))/2, O[k] = conj(W^k)·(A[k]−conj(A[h−k]))/2,
+	// C[k] = E[k] + i·O[k].
+	for k := 0; k < h; k++ {
+		ak := src[k]
+		ahk := src[h-k]
+		cahk := complex(real(ahk), -imag(ahk))
+		e := (ak + cahk) * 0.5
+		o := (ak - cahk) * 0.5 * conj(p.w[k])
+		c[k] = e + complex(0, 1)*o
+	}
+	p.half.Inverse(c)
+	for j := 0; j < h; j++ {
+		dst[2*j] = real(c[j])
+		dst[2*j+1] = imag(c[j])
+	}
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+// RealPlan3 performs 3D transforms of real data (x-fastest layout) storing
+// only the non-redundant half spectrum along x: hx = nx/2+1 complex bins.
+// This halves the work and memory of the y/z passes relative to a full
+// complex transform — the layout used for the SPME reciprocal solve, where
+// the input grid and the Green function are real.
+type RealPlan3 struct {
+	Nx, Ny, Nz int
+	Hx         int // nx/2 + 1
+	px         *RealPlan
+	py, pz     *Plan
+}
+
+// NewRealPlan3 returns a 3D real-transform plan.
+func NewRealPlan3(nx, ny, nz int) *RealPlan3 {
+	return &RealPlan3{
+		Nx: nx, Ny: ny, Nz: nz, Hx: nx/2 + 1,
+		px: NewRealPlan(nx),
+		py: NewPlan(ny),
+		pz: NewPlan(nz),
+	}
+}
+
+// SpectrumLen returns the half-spectrum size hx·ny·nz.
+func (p *RealPlan3) SpectrumLen() int { return p.Hx * p.Ny * p.Nz }
+
+// Forward computes the half spectrum of real data (length nx·ny·nz) into
+// spec (length SpectrumLen), indexed kx + Hx·(ky + Ny·kz).
+func (p *RealPlan3) Forward(data []float64, spec []complex128) {
+	nx, ny, nz, hx := p.Nx, p.Ny, p.Nz, p.Hx
+	if len(data) != nx*ny*nz || len(spec) != p.SpectrumLen() {
+		panic("fft: RealPlan3 Forward size mismatch")
+	}
+	scratch := make([]complex128, nx/2)
+	row := make([]complex128, max(ny, nz))
+	// x-pass: r2c per row.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			src := data[nx*(y+ny*z) : nx*(y+ny*z)+nx]
+			dst := spec[hx*(y+ny*z) : hx*(y+ny*z)+hx]
+			p.px.Forward(src, dst, scratch)
+		}
+	}
+	// y-pass (stride hx) and z-pass (stride hx·ny) on the half spectrum.
+	for z := 0; z < nz; z++ {
+		for x := 0; x < hx; x++ {
+			base := x + hx*ny*z
+			for y := 0; y < ny; y++ {
+				row[y] = spec[base+hx*y]
+			}
+			p.py.Forward(row[:ny])
+			for y := 0; y < ny; y++ {
+				spec[base+hx*y] = row[y]
+			}
+		}
+	}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < hx; x++ {
+			base := x + hx*y
+			for z := 0; z < nz; z++ {
+				row[z] = spec[base+hx*ny*z]
+			}
+			p.pz.Forward(row[:nz])
+			for z := 0; z < nz; z++ {
+				spec[base+hx*ny*z] = row[z]
+			}
+		}
+	}
+}
+
+// Inverse reconstructs real data from the half spectrum (normalized).
+// spec is modified in place.
+func (p *RealPlan3) Inverse(spec []complex128, data []float64) {
+	nx, ny, nz, hx := p.Nx, p.Ny, p.Nz, p.Hx
+	if len(data) != nx*ny*nz || len(spec) != p.SpectrumLen() {
+		panic("fft: RealPlan3 Inverse size mismatch")
+	}
+	row := make([]complex128, max(ny, nz))
+	for y := 0; y < ny; y++ {
+		for x := 0; x < hx; x++ {
+			base := x + hx*y
+			for z := 0; z < nz; z++ {
+				row[z] = spec[base+hx*ny*z]
+			}
+			p.pz.Inverse(row[:nz])
+			for z := 0; z < nz; z++ {
+				spec[base+hx*ny*z] = row[z]
+			}
+		}
+	}
+	for z := 0; z < nz; z++ {
+		for x := 0; x < hx; x++ {
+			base := x + hx*ny*z
+			for y := 0; y < ny; y++ {
+				row[y] = spec[base+hx*y]
+			}
+			p.py.Inverse(row[:ny])
+			for y := 0; y < ny; y++ {
+				spec[base+hx*y] = row[y]
+			}
+		}
+	}
+	scratch := make([]complex128, nx/2)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			src := spec[hx*(y+ny*z) : hx*(y+ny*z)+hx]
+			dst := data[nx*(y+ny*z) : nx*(y+ny*z)+nx]
+			p.px.Inverse(src, dst, scratch)
+		}
+	}
+}

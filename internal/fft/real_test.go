@@ -1,0 +1,119 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestRealPlanMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 16, 64, 256} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		// Reference: full complex FFT.
+		ref := make([]complex128, n)
+		for i, v := range src {
+			ref[i] = complex(v, 0)
+		}
+		NewPlan(n).Forward(ref)
+		// Half-spectrum transform.
+		p := NewRealPlan(n)
+		got := make([]complex128, n/2+1)
+		scratch := make([]complex128, n/2)
+		p.Forward(src, got, scratch)
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(got[k]-ref[k]) > 1e-10 {
+				t.Fatalf("n=%d k=%d: got %v want %v", n, k, got[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestRealPlanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 32, 128} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		p := NewRealPlan(n)
+		spec := make([]complex128, n/2+1)
+		scratch := make([]complex128, n/2)
+		p.Forward(src, spec, scratch)
+		back := make([]float64, n)
+		p.Inverse(spec, back, scratch)
+		for i := range src {
+			if diff := back[i] - src[i]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("n=%d i=%d: roundtrip %g vs %g", n, i, back[i], src[i])
+			}
+		}
+	}
+}
+
+func TestRealPlan3MatchesComplexPlan3(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nx, ny, nz := 8, 4, 16
+	data := make([]float64, nx*ny*nz)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	// Reference full complex 3D transform.
+	ref := make([]complex128, nx*ny*nz)
+	for i, v := range data {
+		ref[i] = complex(v, 0)
+	}
+	NewPlan3(nx, ny, nz).Forward(ref)
+	// Half-spectrum transform.
+	p := NewRealPlan3(nx, ny, nz)
+	spec := make([]complex128, p.SpectrumLen())
+	p.Forward(data, spec)
+	for kz := 0; kz < nz; kz++ {
+		for ky := 0; ky < ny; ky++ {
+			for kx := 0; kx < p.Hx; kx++ {
+				got := spec[kx+p.Hx*(ky+ny*kz)]
+				want := ref[kx+nx*(ky+ny*kz)]
+				if cmplx.Abs(got-want) > 1e-9 {
+					t.Fatalf("k=(%d,%d,%d): got %v want %v", kx, ky, kz, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRealPlan3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewRealPlan3(16, 8, 8)
+	data := make([]float64, 16*8*8)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), data...)
+	spec := make([]complex128, p.SpectrumLen())
+	p.Forward(data, spec)
+	back := make([]float64, len(data))
+	p.Inverse(spec, back)
+	for i := range orig {
+		if d := back[i] - orig[i]; d > 1e-11 || d < -1e-11 {
+			t.Fatalf("roundtrip mismatch at %d: %g vs %g", i, back[i], orig[i])
+		}
+	}
+}
+
+func BenchmarkRealFFT3D32(b *testing.B) {
+	p := NewRealPlan3(32, 32, 32)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 32*32*32)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	spec := make([]complex128, p.SpectrumLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(data, spec)
+		p.Inverse(spec, data)
+	}
+}

@@ -1,0 +1,272 @@
+// Package grid provides periodic 3D scalar grids and the grid-to-grid
+// operations of multilevel mesh methods: axis-wise (separable) convolutions,
+// range-limited direct 3D convolutions, and the two-scale restriction and
+// prolongation operators.
+//
+// Data is stored in a flat slice, x-fastest: index = ix + Nx·(iy + Ny·iz),
+// matching the layout of internal/fft.Plan3.
+package grid
+
+import "fmt"
+
+// G is a periodic 3D scalar grid.
+type G struct {
+	N    [3]int
+	Data []float64
+}
+
+// New returns a zeroed nx×ny×nz grid.
+func New(nx, ny, nz int) *G {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic(fmt.Sprintf("grid: invalid dimensions %d×%d×%d", nx, ny, nz))
+	}
+	return &G{N: [3]int{nx, ny, nz}, Data: make([]float64, nx*ny*nz)}
+}
+
+// Len returns the total number of grid points.
+func (g *G) Len() int { return g.N[0] * g.N[1] * g.N[2] }
+
+// Idx returns the flat index of (ix, iy, iz), which must be in range.
+func (g *G) Idx(ix, iy, iz int) int { return ix + g.N[0]*(iy+g.N[1]*iz) }
+
+// WrapIdx returns the flat index of (ix, iy, iz) with periodic wrapping.
+func (g *G) WrapIdx(ix, iy, iz int) int {
+	return wrap(ix, g.N[0]) + g.N[0]*(wrap(iy, g.N[1])+g.N[1]*wrap(iz, g.N[2]))
+}
+
+// At returns the value at (ix, iy, iz) with periodic wrapping.
+func (g *G) At(ix, iy, iz int) float64 { return g.Data[g.WrapIdx(ix, iy, iz)] }
+
+// Set stores v at (ix, iy, iz) with periodic wrapping.
+func (g *G) Set(ix, iy, iz int, v float64) { g.Data[g.WrapIdx(ix, iy, iz)] = v }
+
+// Add accumulates v at (ix, iy, iz) with periodic wrapping.
+func (g *G) Add(ix, iy, iz int, v float64) { g.Data[g.WrapIdx(ix, iy, iz)] += v }
+
+// Zero clears the grid.
+func (g *G) Zero() {
+	for i := range g.Data {
+		g.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (g *G) Clone() *G {
+	c := New(g.N[0], g.N[1], g.N[2])
+	copy(c.Data, g.Data)
+	return c
+}
+
+// AddGrid accumulates src into g; shapes must match.
+func (g *G) AddGrid(src *G) {
+	if g.N != src.N {
+		panic("grid: AddGrid shape mismatch")
+	}
+	for i, v := range src.Data {
+		g.Data[i] += v
+	}
+}
+
+// Scale multiplies every point by s.
+func (g *G) Scale(s float64) {
+	for i := range g.Data {
+		g.Data[i] *= s
+	}
+}
+
+// Sum returns the sum over all grid points.
+func (g *G) Sum() float64 {
+	var s float64
+	for _, v := range g.Data {
+		s += v
+	}
+	return s
+}
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// axisLoop describes iteration over all 1D lines along one axis: n is the
+// line length, stride the flat-index step along the axis, and bases the flat
+// index of the first element of every line.
+func axisLoop(n3 [3]int, axis int) (n, stride int, bases []int) {
+	nx, ny, nz := n3[0], n3[1], n3[2]
+	switch axis {
+	case 0:
+		n, stride = nx, 1
+		bases = make([]int, 0, ny*nz)
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				bases = append(bases, nx*(y+ny*z))
+			}
+		}
+	case 1:
+		n, stride = ny, nx
+		bases = make([]int, 0, nx*nz)
+		for z := 0; z < nz; z++ {
+			for x := 0; x < nx; x++ {
+				bases = append(bases, x+nx*ny*z)
+			}
+		}
+	case 2:
+		n, stride = nz, nx*ny
+		bases = make([]int, 0, nx*ny)
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				bases = append(bases, x+nx*y)
+			}
+		}
+	default:
+		panic("grid: invalid axis")
+	}
+	return n, stride, bases
+}
+
+// ConvAxis computes the periodic, range-limited 1D convolution of src with
+// kernel along the given axis (0 = x, 1 = y, 2 = z) and stores the result in
+// dst: dst[n] = Σ_{|m| ≤ gc} kernel[m+gc]·src[n−m]. kernel must have odd
+// length 2·gc+1. dst must not alias src and must have the same shape.
+func ConvAxis(dst, src *G, axis int, kernel []float64) {
+	if dst.N != src.N {
+		panic("grid: ConvAxis shape mismatch")
+	}
+	if len(kernel)%2 == 0 {
+		panic("grid: ConvAxis kernel length must be odd")
+	}
+	gc := len(kernel) / 2
+	n, stride, bases := axisLoop(src.N, axis)
+	line := make([]float64, n)
+	for _, base := range bases {
+		for i := 0; i < n; i++ {
+			line[i] = src.Data[base+i*stride]
+		}
+		for i := 0; i < n; i++ {
+			var s float64
+			for m := -gc; m <= gc; m++ {
+				s += kernel[m+gc] * line[wrap(i-m, n)]
+			}
+			dst.Data[base+i*stride] = s
+		}
+	}
+}
+
+// ConvSeparable computes the separable 3D convolution kz∗(ky∗(kx∗src)) and
+// returns a new grid. This is the tensor-structured convolution at the heart
+// of the TME method (paper Eq. (10)).
+func ConvSeparable(src *G, kx, ky, kz []float64) *G {
+	tmp1 := New(src.N[0], src.N[1], src.N[2])
+	tmp2 := New(src.N[0], src.N[1], src.N[2])
+	ConvAxis(tmp1, src, 0, kx)
+	ConvAxis(tmp2, tmp1, 1, ky)
+	ConvAxis(tmp1, tmp2, 2, kz)
+	return tmp1
+}
+
+// ConvDirect3D computes the periodic, range-limited direct 3D convolution
+// dst[n] = Σ_{|m_j| ≤ gc} kernel(m)·src[n−m], where kernel is indexed
+// kernel[(mx+gc) + (2gc+1)·((my+gc) + (2gc+1)·(mz+gc))]. This is the
+// B-spline MSM convolution that the TME replaces; its cost is (2gc+1)³ per
+// grid point versus the TME's 3·(2gc+1)·M.
+func ConvDirect3D(src *G, kernel []float64, gc int) *G {
+	k := 2*gc + 1
+	if len(kernel) != k*k*k {
+		panic("grid: ConvDirect3D kernel size mismatch")
+	}
+	dst := New(src.N[0], src.N[1], src.N[2])
+	nx, ny, nz := src.N[0], src.N[1], src.N[2]
+	for iz := 0; iz < nz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				var s float64
+				for mz := -gc; mz <= gc; mz++ {
+					jz := wrap(iz-mz, nz)
+					for my := -gc; my <= gc; my++ {
+						jy := wrap(iy-my, ny)
+						krow := k * ((my + gc) + k*(mz+gc))
+						srow := src.Data[nx*(jy+ny*jz) : nx*(jy+ny*jz)+nx]
+						for mx := -gc; mx <= gc; mx++ {
+							s += kernel[(mx+gc)+krow] * srow[wrap(ix-mx, nx)]
+						}
+					}
+				}
+				dst.Data[dst.Idx(ix, iy, iz)] = s
+			}
+		}
+	}
+	return dst
+}
+
+// Restrict applies the two-scale restriction along all three axes:
+// dst[n] = Σ_m J[m]·src[2n+m] per axis, halving each dimension (all must be
+// even). J is indexed J[m+p/2] for m = −p/2..p/2 (see bspline.TwoScale).
+func Restrict(src *G, J []float64) *G {
+	cur := src
+	for axis := 0; axis < 3; axis++ {
+		cur = restrictAxis(cur, axis, J)
+	}
+	return cur
+}
+
+func restrictAxis(src *G, axis int, J []float64) *G {
+	half := len(J) / 2
+	n := src.N[axis]
+	if n%2 != 0 {
+		panic("grid: Restrict needs even dimensions")
+	}
+	dn := src.N
+	dn[axis] = n / 2
+	dst := New(dn[0], dn[1], dn[2])
+	_, sStride, sBases := axisLoop(src.N, axis)
+	_, dStride, dBases := axisLoop(dst.N, axis)
+	for li := range sBases {
+		sb, db := sBases[li], dBases[li]
+		for i := 0; i < n/2; i++ {
+			var s float64
+			for m := -half; m <= half; m++ {
+				s += J[m+half] * src.Data[sb+wrap(2*i+m, n)*sStride]
+			}
+			dst.Data[db+i*dStride] = s
+		}
+	}
+	return dst
+}
+
+// Prolong applies the two-scale prolongation along all three axes:
+// dst[k] = Σ_n J[k−2n]·src[n] per axis, doubling each dimension. Prolong is
+// the adjoint of Restrict.
+func Prolong(src *G, J []float64) *G {
+	cur := src
+	for axis := 0; axis < 3; axis++ {
+		cur = prolongAxis(cur, axis, J)
+	}
+	return cur
+}
+
+func prolongAxis(src *G, axis int, J []float64) *G {
+	half := len(J) / 2
+	n := src.N[axis]
+	dn := src.N
+	dn[axis] = n * 2
+	dst := New(dn[0], dn[1], dn[2])
+	_, sStride, sBases := axisLoop(src.N, axis)
+	_, dStride, dBases := axisLoop(dst.N, axis)
+	for li := range sBases {
+		sb, db := sBases[li], dBases[li]
+		for i := 0; i < n; i++ {
+			v := src.Data[sb+i*sStride]
+			if v == 0 {
+				continue
+			}
+			for m := -half; m <= half; m++ {
+				k := wrap(2*i+m, 2*n)
+				dst.Data[db+k*dStride] += J[m+half] * v
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,219 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tme4a/internal/bspline"
+)
+
+func randGrid(rng *rand.Rand, nx, ny, nz int) *G {
+	g := New(nx, ny, nz)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	return g
+}
+
+func naiveConvAxis(src *G, axis int, kernel []float64) *G {
+	gc := len(kernel) / 2
+	dst := New(src.N[0], src.N[1], src.N[2])
+	for iz := 0; iz < src.N[2]; iz++ {
+		for iy := 0; iy < src.N[1]; iy++ {
+			for ix := 0; ix < src.N[0]; ix++ {
+				var s float64
+				for m := -gc; m <= gc; m++ {
+					var v float64
+					switch axis {
+					case 0:
+						v = src.At(ix-m, iy, iz)
+					case 1:
+						v = src.At(ix, iy-m, iz)
+					default:
+						v = src.At(ix, iy, iz-m)
+					}
+					s += kernel[m+gc] * v
+				}
+				dst.Data[dst.Idx(ix, iy, iz)] = s
+			}
+		}
+	}
+	return dst
+}
+
+func TestConvAxisMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := randGrid(rng, 8, 6, 4)
+	kernel := []float64{0.1, -0.4, 1.0, 0.3, 0.2}
+	for axis := 0; axis < 3; axis++ {
+		want := naiveConvAxis(src, axis, kernel)
+		got := New(8, 6, 4)
+		ConvAxis(got, src, axis, kernel)
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+				t.Fatalf("axis %d index %d: got %g want %g", axis, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestConvAxisKernelLongerThanGrid(t *testing.T) {
+	// Periodic wrap must be correct even when the kernel reach exceeds the
+	// grid size (small top-level TME grids with g_c = 8).
+	rng := rand.New(rand.NewSource(2))
+	src := randGrid(rng, 4, 4, 4)
+	kernel := make([]float64, 2*6+1)
+	for i := range kernel {
+		kernel[i] = rng.NormFloat64()
+	}
+	want := naiveConvAxis(src, 0, kernel)
+	got := New(4, 4, 4)
+	ConvAxis(got, src, 0, kernel)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("index %d: got %g want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestSeparableEqualsDirect verifies the tensor-structure identity at the
+// heart of the TME: a separable 3D kernel applied axis-wise equals the
+// direct 3D convolution with the outer-product kernel.
+func TestSeparableEqualsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := randGrid(rng, 8, 8, 8)
+	gc := 2
+	k := 2*gc + 1
+	kx := make([]float64, k)
+	ky := make([]float64, k)
+	kz := make([]float64, k)
+	for i := 0; i < k; i++ {
+		kx[i], ky[i], kz[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+	}
+	k3 := make([]float64, k*k*k)
+	for mz := 0; mz < k; mz++ {
+		for my := 0; my < k; my++ {
+			for mx := 0; mx < k; mx++ {
+				k3[mx+k*(my+k*mz)] = kx[mx] * ky[my] * kz[mz]
+			}
+		}
+	}
+	sep := ConvSeparable(src, kx, ky, kz)
+	dir := ConvDirect3D(src, k3, gc)
+	for i := range sep.Data {
+		if math.Abs(sep.Data[i]-dir.Data[i]) > 1e-10 {
+			t.Fatalf("index %d: separable %g direct %g", i, sep.Data[i], dir.Data[i])
+		}
+	}
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := randGrid(rng, 4, 8, 16)
+	id := []float64{0, 0, 1, 0, 0}
+	got := ConvSeparable(src, id, id, id)
+	for i := range src.Data {
+		if math.Abs(got.Data[i]-src.Data[i]) > 1e-14 {
+			t.Fatalf("identity convolution altered data at %d", i)
+		}
+	}
+}
+
+func TestRestrictProlongAdjoint(t *testing.T) {
+	// ⟨Restrict(q), φ⟩ == ⟨q, Prolong(φ)⟩ for the two-scale operators.
+	rng := rand.New(rand.NewSource(5))
+	J := bspline.TwoScale(6)
+	q := randGrid(rng, 8, 8, 8)
+	phi := randGrid(rng, 4, 4, 4)
+	rq := Restrict(q, J)
+	pphi := Prolong(phi, J)
+	var lhs, rhs float64
+	for i := range rq.Data {
+		lhs += rq.Data[i] * phi.Data[i]
+	}
+	for i := range q.Data {
+		rhs += q.Data[i] * pphi.Data[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-10*math.Abs(lhs) {
+		t.Errorf("adjoint violated: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestRestrictConservesTotalWeightedCharge(t *testing.T) {
+	// ΣJ = 2 per axis, so total grid charge is multiplied by 2³/2³... each
+	// axis restriction halves the point count but ΣJ=2 doubles weight per
+	// remaining point: the total sum is preserved exactly... verify the
+	// actual invariant: Sum(Restrict(q)) = Sum(q).
+	rng := rand.New(rand.NewSource(6))
+	J := bspline.TwoScale(6)
+	q := randGrid(rng, 16, 8, 8)
+	r := Restrict(q, J)
+	if r.N != [3]int{8, 4, 4} {
+		t.Fatalf("restricted shape %v", r.N)
+	}
+	if math.Abs(r.Sum()-q.Sum()) > 1e-9*math.Max(1, math.Abs(q.Sum())) {
+		t.Errorf("restriction changed total charge: %g vs %g", r.Sum(), q.Sum())
+	}
+}
+
+func TestProlongShape(t *testing.T) {
+	J := bspline.TwoScale(4)
+	src := New(4, 8, 4)
+	dst := Prolong(src, J)
+	if dst.N != [3]int{8, 16, 8} {
+		t.Errorf("prolonged shape %v", dst.N)
+	}
+}
+
+func TestWrapIndexing(t *testing.T) {
+	g := New(4, 4, 4)
+	g.Set(-1, -1, -1, 7)
+	if g.At(3, 3, 3) != 7 {
+		t.Error("negative wrap failed")
+	}
+	g.Add(4, 5, 6, 3)
+	if g.At(0, 1, 2) != 3 {
+		t.Error("positive wrap failed")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(2, 2, 2)
+	g.Data[0] = 1
+	c := g.Clone()
+	c.Data[0] = 2
+	if g.Data[0] != 1 {
+		t.Error("Clone aliases source data")
+	}
+}
+
+func BenchmarkConvSeparable32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randGrid(rng, 32, 32, 32)
+	k := make([]float64, 17)
+	for i := range k {
+		k[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvSeparable(src, k, k, k)
+	}
+}
+
+func BenchmarkConvDirect3D32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randGrid(rng, 32, 32, 32)
+	gc := 8
+	n := 2*gc + 1
+	k3 := make([]float64, n*n*n)
+	for i := range k3 {
+		k3[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvDirect3D(src, k3, gc)
+	}
+}

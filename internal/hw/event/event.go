@@ -1,0 +1,217 @@
+// Package event provides the discrete-event simulation core used by the
+// MDGRAPE-4A machine model: a time-ordered event queue, sequential
+// resources with queuing, and busy-interval tracking that renders the
+// paper's Fig. 9/10-style time charts.
+//
+// Simulated time is in nanoseconds (float64), matching the 10 ns
+// measurement resolution the paper reports for CGP status transitions.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sim is a discrete-event simulator.
+type Sim struct {
+	now   float64
+	queue eventHeap
+	seq   int64 // tie-breaker for deterministic ordering
+	Chart *Chart
+}
+
+// NewSim returns a simulator at time zero with an empty chart.
+func NewSim() *Sim {
+	return &Sim{Chart: &Chart{}}
+}
+
+// Now returns the current simulation time (ns).
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	heap.Push(&s.queue, &event{t: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn to run delay ns from now.
+func (s *Sim) After(delay float64, fn func()) { s.At(s.now+delay, fn) }
+
+// Run processes events until the queue is empty and returns the final time.
+func (s *Sim) Run() float64 {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.t
+		ev.fn()
+	}
+	return s.now
+}
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Resource models a unit that serves one request at a time (a pipeline, a
+// network link, a GP core). Acquire returns the time the request actually
+// starts given the earliest time it could start.
+type Resource struct {
+	nextFree float64
+}
+
+// Acquire reserves the resource for duration starting no earlier than at;
+// it returns the actual start time.
+func (r *Resource) Acquire(at, duration float64) (start float64) {
+	if at > r.nextFree {
+		start = at
+	} else {
+		start = r.nextFree
+	}
+	r.nextFree = start + duration
+	return start
+}
+
+// NextFree returns the time the resource becomes idle.
+func (r *Resource) NextFree() float64 { return r.nextFree }
+
+// Interval is one busy span of one module on one node.
+type Interval struct {
+	Module string
+	Node   int // −1 for machine-global modules (e.g. the root FPGA)
+	Start  float64
+	End    float64
+}
+
+// Chart collects busy intervals for rendering time charts.
+type Chart struct {
+	Intervals []Interval
+}
+
+// Add records a busy interval.
+func (c *Chart) Add(module string, node int, start, end float64) {
+	c.Intervals = append(c.Intervals, Interval{Module: module, Node: node, Start: start, End: end})
+}
+
+// ModuleSpan returns the earliest start and latest end over all intervals
+// of the module (ok reports whether any were recorded).
+func (c *Chart) ModuleSpan(module string) (start, end float64, ok bool) {
+	for _, iv := range c.Intervals {
+		if iv.Module != module {
+			continue
+		}
+		if !ok || iv.Start < start {
+			start = iv.Start
+		}
+		if !ok || iv.End > end {
+			end = iv.End
+		}
+		ok = true
+	}
+	return start, end, ok
+}
+
+// ModuleBusy returns the summed busy time of the module across nodes.
+func (c *Chart) ModuleBusy(module string) float64 {
+	var t float64
+	for _, iv := range c.Intervals {
+		if iv.Module == module {
+			t += iv.End - iv.Start
+		}
+	}
+	return t
+}
+
+// Modules returns the distinct module names in first-appearance order.
+func (c *Chart) Modules() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, iv := range c.Intervals {
+		if !seen[iv.Module] {
+			seen[iv.Module] = true
+			out = append(out, iv.Module)
+		}
+	}
+	return out
+}
+
+// Render draws an ASCII Gantt chart (one row per module, aggregated over
+// nodes) spanning [0, end] with the given number of columns — the textual
+// analogue of the paper's Fig. 9.
+func (c *Chart) Render(width int) string {
+	_, end := c.Bounds()
+	if end <= 0 || width < 10 {
+		return ""
+	}
+	var b strings.Builder
+	mods := c.Modules()
+	longest := 0
+	for _, m := range mods {
+		if len(m) > longest {
+			longest = len(m)
+		}
+	}
+	for _, m := range mods {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, iv := range c.Intervals {
+			if iv.Module != m {
+				continue
+			}
+			lo := int(iv.Start / end * float64(width-1))
+			hi := int(iv.End / end * float64(width-1))
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", longest, m, string(row))
+	}
+	fmt.Fprintf(&b, "%-*s  0%*s\n", longest, "", width-1, fmt.Sprintf("%.1f us", end/1000))
+	return b.String()
+}
+
+// Bounds returns the earliest start and latest end over all intervals.
+func (c *Chart) Bounds() (start, end float64) {
+	for i, iv := range c.Intervals {
+		if i == 0 || iv.Start < start {
+			start = iv.Start
+		}
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	return start, end
+}
+
+// SortedByStart returns a copy of the intervals ordered by start time.
+func (c *Chart) SortedByStart() []Interval {
+	out := append([]Interval(nil), c.Intervals...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

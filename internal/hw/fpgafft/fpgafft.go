@@ -1,0 +1,188 @@
+// Package fpgafft models the top-level convolution hardware on the TMENW
+// root FPGA (paper Sec. IV.C): a 16×16×16 3D-FFT-based SPME solve built
+// from four CFFT16 units (radix-4, 16-point complex FFTs in single
+// precision), post/preprocess units that multiply the lattice Green
+// function, and an "orthogonal memory" providing transposed access between
+// the axis passes.
+//
+// Functional face: the full solve in float32 (complex64), with the radix-4
+// CFFT16 dataflow implemented explicitly.
+//
+// Cycle face: 330 cycles at 156.25 MHz = 2.112 µs per solve, independent of
+// content (the pipeline is fully unrolled in hardware).
+package fpgafft
+
+import (
+	"fmt"
+	"math"
+
+	"tme4a/internal/fixpoint"
+)
+
+// Side is the grid edge handled by the hardware.
+const Side = 16
+
+// Cycles and ClockMHz give the published timing: 330 cycles at 156.25 MHz.
+const (
+	Cycles   = 330
+	ClockMHz = 156.25
+)
+
+// SolveTimeNs returns the fixed solve latency (2112 ns).
+func SolveTimeNs() float64 { return Cycles / (ClockMHz / 1e3) }
+
+// Unit is the top-level grid-potential solver with its Green-function
+// coefficient memory loaded.
+type Unit struct {
+	green []float32 // 16³ lattice Green function
+	// twiddle factors for the radix-4 CFFT16.
+	tw [Side]complex64
+}
+
+// New loads the coefficient memory from a float64 Green function of a
+// 16³ SPME solver (see spme.Solver.Green).
+func New(green []float64) *Unit {
+	if len(green) != Side*Side*Side {
+		panic(fmt.Sprintf("fpgafft: green function has %d points, want %d", len(green), Side*Side*Side))
+	}
+	u := &Unit{green: make([]float32, len(green))}
+	for i, v := range green {
+		u.green[i] = float32(v)
+	}
+	for k := 0; k < Side; k++ {
+		theta := -2 * math.Pi * float64(k) / Side
+		u.tw[k] = complex(float32(math.Cos(theta)), float32(math.Sin(theta)))
+	}
+	return u
+}
+
+// cfft16 performs an in-place 16-point complex FFT in single precision
+// using two radix-4 stages — the CFFT16 flash unit's dataflow (144 FP
+// adders + 16 FP multiply-adders evaluate this combinationally).
+func (u *Unit) cfft16(x *[Side]complex64, inverse bool) {
+	tw := u.tw
+	conj := func(c complex64) complex64 { return complex(real(c), -imag(c)) }
+	w := func(k int) complex64 {
+		c := tw[k%Side]
+		if inverse {
+			return conj(c)
+		}
+		return c
+	}
+	// Stage 1: radix-4 butterflies over stride 4, DIF.
+	var j complex64 = complex(0, -1)
+	if inverse {
+		j = complex(0, 1)
+	}
+	var s1 [Side]complex64
+	for n := 0; n < 4; n++ {
+		a, b, c, d := x[n], x[n+4], x[n+8], x[n+12]
+		t0 := a + c
+		t1 := a - c
+		t2 := b + d
+		t3 := (b - d) * j
+		s1[n] = t0 + t2
+		s1[n+4] = (t1 + t3) * w(n)
+		s1[n+8] = (t0 - t2) * w(2*n)
+		s1[n+12] = (t1 - t3) * w(3*n)
+	}
+	// Stage 2: radix-4 butterflies within each group of 4, then digit-
+	// reversed output ordering.
+	var out [Side]complex64
+	for g := 0; g < 4; g++ {
+		a, b, c, d := s1[4*g], s1[4*g+1], s1[4*g+2], s1[4*g+3]
+		t0 := a + c
+		t1 := a - c
+		t2 := b + d
+		t3 := (b - d) * j
+		out[g] = t0 + t2
+		out[g+4] = t1 + t3
+		out[g+8] = t0 - t2
+		out[g+12] = t1 - t3
+	}
+	*x = out
+	if inverse {
+		for i := range x {
+			x[i] /= Side
+		}
+	}
+}
+
+// Solve computes the top-level grid potentials from the top-level grid
+// charges: Φ = IFFT(G̃·FFT(Q)), all in single precision. Input and output
+// are float64 slices of 16³ values (x-fastest layout); the conversion
+// mirrors the fixed→float and float→fixed conversions the hardware
+// performs at the leaf interface.
+func (u *Unit) Solve(q []float64) []float64 {
+	if len(q) != Side*Side*Side {
+		panic("fpgafft: charge grid size mismatch")
+	}
+	data := make([]complex64, Side*Side*Side)
+	for i, v := range q {
+		data[i] = complex(float32(v), 0)
+	}
+	u.transform3(data, false)
+	for i := range data {
+		data[i] *= complex(u.green[i], 0)
+	}
+	u.transform3(data, true)
+	out := make([]float64, len(data))
+	for i, v := range data {
+		out[i] = float64(real(v))
+	}
+	return out
+}
+
+// SolveFixed is Solve with fixed-point input/output conversion at the given
+// format — the path actually taken in hardware (grid data arrives from the
+// SoCs in 32-bit fixed point).
+func (u *Unit) SolveFixed(q *fixpoint.Grid32, outFmt fixpoint.Format) *fixpoint.Grid32 {
+	if q.N != [3]int{Side, Side, Side} {
+		panic("fpgafft: fixed grid size mismatch")
+	}
+	phi := u.Solve(q.Float())
+	out := fixpoint.NewGrid32(Side, Side, Side, outFmt)
+	out.QuantizeInto(phi)
+	return out
+}
+
+// transform3 runs 1D CFFT16 passes along x, y, z (the orthogonal memory
+// provides the transposed access pattern between passes).
+func (u *Unit) transform3(data []complex64, inverse bool) {
+	var line [Side]complex64
+	// x lines.
+	for z := 0; z < Side; z++ {
+		for y := 0; y < Side; y++ {
+			base := Side * (y + Side*z)
+			copy(line[:], data[base:base+Side])
+			u.cfft16(&line, inverse)
+			copy(data[base:base+Side], line[:])
+		}
+	}
+	// y lines.
+	for z := 0; z < Side; z++ {
+		for x := 0; x < Side; x++ {
+			base := x + Side*Side*z
+			for y := 0; y < Side; y++ {
+				line[y] = data[base+Side*y]
+			}
+			u.cfft16(&line, inverse)
+			for y := 0; y < Side; y++ {
+				data[base+Side*y] = line[y]
+			}
+		}
+	}
+	// z lines.
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			base := x + Side*y
+			for z := 0; z < Side; z++ {
+				line[z] = data[base+Side*Side*z]
+			}
+			u.cfft16(&line, inverse)
+			for z := 0; z < Side; z++ {
+				data[base+Side*Side*z] = line[z]
+			}
+		}
+	}
+}

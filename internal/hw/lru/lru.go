@@ -1,0 +1,170 @@
+// Package lru models the MDGRAPE-4A long-range unit (LRU): the dedicated
+// hardware for B-spline charge assignment (CA) and back interpolation (BI)
+// at interpolation order p = 6 (paper Sec. IV.A).
+//
+// The package has two faces:
+//
+//   - a functional datapath that reproduces the hardware arithmetic —
+//     piecewise-polynomial B-spline evaluation quantized to a 24-bit
+//     fractional fixed point, 32-bit tensor-product accumulation into grid
+//     memory with accumulate-on-write, 32-bit force accumulation and 64-bit
+//     potential accumulation — so the numeric effect of fixed point can be
+//     measured against the float64 pmesh reference;
+//
+//   - a cycle model: each atom occupies the 36-cycle tensor stage, the two
+//     LRUs per SoC split the grid along z, and the units run at the SoC
+//     clock (0.6 GHz).
+package lru
+
+import (
+	"tme4a/internal/bspline"
+	"tme4a/internal/fixpoint"
+	"tme4a/internal/vec"
+)
+
+// Order is the interpolation order fixed in the hardware.
+const Order = 6
+
+// CyclesPerAtom is the maximum tensor-stage occupancy per atom (36 cycles:
+// 6² grid lines, 6 grids in parallel).
+const CyclesPerAtom = 36
+
+// UnitsPerSoC is the number of LRUs per chip (upper/lower z halves).
+const UnitsPerSoC = 2
+
+// Datapath carries the fixed-point formats of one configuration.
+type Datapath struct {
+	Coef  fixpoint.Format // B-spline coefficient format (Q24 in hardware)
+	Grid  fixpoint.Format // grid charge format
+	Pot   fixpoint.Format // grid potential format
+	Force fixpoint.Format // force accumulation format (tunable binary point)
+}
+
+// DefaultDatapath returns the production formats: 24-bit fractional
+// coefficients, charges in Q7.24 (|q| ≤ 127 e), potentials and forces with
+// binary points tuned for biomolecular magnitudes.
+func DefaultDatapath() Datapath {
+	return Datapath{
+		Coef:  fixpoint.Format{Frac: 24},
+		Grid:  fixpoint.Format{Frac: 24},
+		Pot:   fixpoint.Format{Frac: 14}, // range ±131072 kJ mol⁻¹ e⁻¹
+		Force: fixpoint.Format{Frac: 14},
+	}
+}
+
+// ChargeAssign spreads charges into a fixed-point grid over box geometry
+// given by invH (grid points per nm per axis), reproducing Eq. (12) in the
+// LRU's arithmetic. Positions are in nm; the grid uses dp.Grid format.
+func ChargeAssign(dp Datapath, n [3]int, invH [3]float64, pos []vec.V, q []float64) *fixpoint.Grid32 {
+	g := fixpoint.NewGrid32(n[0], n[1], n[2], dp.Grid)
+	var wx, wy, wz, d [Order]float64
+	for i, r := range pos {
+		if q[i] == 0 {
+			continue
+		}
+		mx := bspline.Weights(Order, r[0]*invH[0], wx[:], d[:])
+		my := bspline.Weights(Order, r[1]*invH[1], wy[:], d[:])
+		mz := bspline.Weights(Order, r[2]*invH[2], wz[:], d[:])
+		// Quantize the per-axis polynomial outputs (24-bit fraction).
+		var qx, qy, qz [Order]int32
+		for k := 0; k < Order; k++ {
+			qx[k] = dp.Coef.Quantize(wx[k])
+			qy[k] = dp.Coef.Quantize(wy[k])
+			qz[k] = dp.Coef.Quantize(wz[k])
+		}
+		qi := dp.Coef.Quantize(q[i])
+		for c := 0; c < Order; c++ {
+			qzc := fixpoint.MulShift(qi, qz[c], dp.Coef.Frac)
+			for b := 0; b < Order; b++ {
+				qyz := fixpoint.MulShift(qzc, qy[b], dp.Coef.Frac)
+				for a := 0; a < Order; a++ {
+					// Product in coefficient format; rescale to grid format.
+					v := fixpoint.MulShift(qyz, qx[a], dp.Coef.Frac)
+					v = rescale(v, dp.Coef, dp.Grid)
+					g.AccumAt(mx+a, my+b, mz+c, v)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Interpolate gathers per-atom potentials and forces from a fixed-point
+// potential grid (Eq. (13)–(17)) using the LRU's 32-bit force accumulation
+// and 64-bit total-potential accumulation. Forces are accumulated into f in
+// kJ mol⁻¹ nm⁻¹; the return value is E = ½Σq_iφ_i in kJ/mol.
+func Interpolate(dp Datapath, phi *fixpoint.Grid32, invH [3]float64, pos []vec.V, q []float64, f []vec.V) float64 {
+	var wx, wy, wz, dx, dy, dz [Order]float64
+	total := fixpoint.Acc64{Fmt: dp.Pot}
+	for i, r := range pos {
+		if q[i] == 0 {
+			continue
+		}
+		mx := bspline.Weights(Order, r[0]*invH[0], wx[:], dx[:])
+		my := bspline.Weights(Order, r[1]*invH[1], wy[:], dy[:])
+		mz := bspline.Weights(Order, r[2]*invH[2], wz[:], dz[:])
+		var qx, qy, qz, qdx, qdy, qdz [Order]int32
+		for k := 0; k < Order; k++ {
+			qx[k] = dp.Coef.Quantize(wx[k])
+			qy[k] = dp.Coef.Quantize(wy[k])
+			qz[k] = dp.Coef.Quantize(wz[k])
+			qdx[k] = dp.Coef.Quantize(dx[k])
+			qdy[k] = dp.Coef.Quantize(dy[k])
+			qdz[k] = dp.Coef.Quantize(dz[k])
+		}
+		// 64-bit accumulation of the per-atom convolutions, then one
+		// requantization — mirrors the tensor multiplier's accumulators.
+		var pot, gx, gy, gz int64
+		for c := 0; c < Order; c++ {
+			for b := 0; b < Order; b++ {
+				wyz := fixpoint.MulShift(qy[b], qz[c], dp.Coef.Frac)
+				dyz := fixpoint.MulShift(qdy[b], qz[c], dp.Coef.Frac)
+				wdz := fixpoint.MulShift(qy[b], qdz[c], dp.Coef.Frac)
+				for a := 0; a < Order; a++ {
+					v := int64(phi.Data[phi.Idx(mx+a, my+b, mz+c)])
+					pot += v * int64(fixpoint.MulShift(qx[a], wyz, dp.Coef.Frac))
+					gx += v * int64(fixpoint.MulShift(qdx[a], wyz, dp.Coef.Frac))
+					gy += v * int64(fixpoint.MulShift(qx[a], dyz, dp.Coef.Frac))
+					gz += v * int64(fixpoint.MulShift(qx[a], wdz, dp.Coef.Frac))
+				}
+			}
+		}
+		// pot/g* are in (Pot fmt)×(Coef fmt) — shift back to Pot fmt.
+		potV := float64(pot>>dp.Coef.Frac) / dp.Pot.Scale()
+		phiI := potV
+		total.Add(dp.Pot.Quantize(0.5 * q[i] * phiI))
+		if f != nil {
+			gxv := float64(gx>>dp.Coef.Frac) / dp.Pot.Scale()
+			gyv := float64(gy>>dp.Coef.Frac) / dp.Pot.Scale()
+			gzv := float64(gz>>dp.Coef.Frac) / dp.Pot.Scale()
+			f[i][0] -= dp.Force.Value(dp.Force.Quantize(q[i] * gxv * invH[0]))
+			f[i][1] -= dp.Force.Value(dp.Force.Quantize(q[i] * gyv * invH[1]))
+			f[i][2] -= dp.Force.Value(dp.Force.Quantize(q[i] * gzv * invH[2]))
+		}
+	}
+	return total.Value()
+}
+
+// rescale converts a fixed-point value between formats.
+func rescale(v int32, from, to fixpoint.Format) int32 {
+	if from.Frac == to.Frac {
+		return v
+	}
+	if from.Frac > to.Frac {
+		return v >> (from.Frac - to.Frac)
+	}
+	return v << (to.Frac - from.Frac)
+}
+
+// Cycles returns the tensor-stage cycles to process natoms on one SoC
+// (two LRUs splitting the load).
+func Cycles(natoms int) int {
+	perUnit := (natoms + UnitsPerSoC - 1) / UnitsPerSoC
+	return perUnit * CyclesPerAtom
+}
+
+// TimeNs returns the wall time of one CA or BI pass over natoms on one SoC
+// at the given clock (GHz).
+func TimeNs(natoms int, clockGHz float64) float64 {
+	return float64(Cycles(natoms)) / clockGHz
+}

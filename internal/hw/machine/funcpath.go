@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"math"
+
+	"tme4a/internal/bspline"
+	"tme4a/internal/core"
+	"tme4a/internal/ewald"
+	"tme4a/internal/fixpoint"
+	"tme4a/internal/hw/fpgafft"
+	"tme4a/internal/hw/gcu"
+	"tme4a/internal/hw/lru"
+	"tme4a/internal/units"
+	"tme4a/internal/vec"
+)
+
+// Pipeline is the functional long-range datapath of the machine: it
+// executes the TME mesh computation through the hardware's numeric
+// formats — LRU fixed-point charge assignment, GCU fixed-point separable
+// convolutions/restrictions/prolongations, the float32 FPGA FFT top solve,
+// and LRU fixed-point back interpolation.
+type Pipeline struct {
+	tme  *core.Solver
+	dp   lru.Datapath
+	invH [3]float64
+	j    gcu.Kernel
+	// kern[ν][axis]: GCU coefficient registers, with the cube root of the
+	// Coulomb conversion folded per axis so convolution output is directly
+	// in kJ mol⁻¹ e⁻¹.
+	kern [][3]gcu.Kernel
+	top  *fpgafft.Unit
+}
+
+// NewPipeline prepares the datapath for a configured TME solver. The top
+// grid must be 16³ (the FPGA's fixed size).
+func NewPipeline(tme *core.Solver) *Pipeline {
+	prm := tme.Prm
+	dp := lru.DefaultDatapath()
+	h := tme.Mesher.H()
+	p := &Pipeline{
+		tme:  tme,
+		dp:   dp,
+		invH: [3]float64{1 / h[0], 1 / h[1], 1 / h[2]},
+		j:    gcu.QuantizeKernel(bspline.TwoScale(prm.Order), dp.Coef),
+		top:  fpgafft.New(tme.TopSolver().Green()),
+	}
+	keCbrt := math.Cbrt(units.Coulomb)
+	for _, kv := range tme.Kernels() {
+		var qk [3]gcu.Kernel
+		for axis := 0; axis < 3; axis++ {
+			scaled := make([]float64, len(kv[axis]))
+			for i, v := range kv[axis] {
+				scaled[i] = v * keCbrt
+			}
+			qk[axis] = gcu.QuantizeKernel(scaled, dp.Coef)
+		}
+		p.kern = append(p.kern, qk)
+	}
+	return p
+}
+
+// LongRange computes mesh + self energy through the hardware datapath,
+// accumulating forces into f (may be nil). It mirrors
+// core.Solver.LongRange but in the machine's arithmetic.
+func (p *Pipeline) LongRange(pos []vec.V, q []float64, f []vec.V) float64 {
+	prm := p.tme.Prm
+
+	// (1) LRU charge assignment (Q·.24 charges).
+	charge := lru.ChargeAssign(p.dp, prm.N, p.invH, pos, q)
+
+	// (2) GCU restrictions down to the top grid.
+	charges := make([]*fixpoint.Grid32, prm.Levels+2)
+	charges[1] = charge
+	for l := 1; l <= prm.Levels; l++ {
+		charges[l+1] = gcu.Restrict(charges[l], p.j)
+	}
+
+	// (3) FPGA FFT top-level solve → potential in the Pot format.
+	phi := p.top.SolveFixed(charges[prm.Levels+1], p.dp.Pot)
+
+	// (4) Upward pass: prolong, add the level's separable convolution.
+	for l := prm.Levels; l >= 1; l-- {
+		up := gcu.Prolong(phi, p.j)
+		conv := p.levelConv(charges[l], l)
+		for i := range up.Data {
+			up.Data[i] = fixpoint.SatAdd32(up.Data[i], conv.Data[i])
+		}
+		phi = up
+	}
+
+	// (5) LRU back interpolation.
+	e := lru.Interpolate(p.dp, phi, p.invH, pos, q, f)
+	return e + ewald.SelfEnergy(q, prm.Alpha)
+}
+
+// levelConv runs the GCU separable convolution of one level: the x pass
+// stays in the charge format, the y pass shifts the binary point to the
+// potential format (avoiding overflow as magnitudes grow), and the ν terms
+// accumulate in grid memory. The 1/2^{l−1} level prefactor is the GCU's
+// output binary-point shift.
+func (p *Pipeline) levelConv(q *fixpoint.Grid32, l int) *fixpoint.Grid32 {
+	n := q.N
+	acc := fixpoint.NewGrid32(n[0], n[1], n[2], p.dp.Pot)
+	t1 := fixpoint.NewGrid32(n[0], n[1], n[2], q.Fmt)
+	t2 := fixpoint.NewGrid32(n[0], n[1], n[2], p.dp.Pot)
+	t3 := fixpoint.NewGrid32(n[0], n[1], n[2], p.dp.Pot)
+	for _, k := range p.kern {
+		gcu.ConvAxis(t1, q, 0, k[0])
+		gcu.ConvAxis(t2, t1, 1, k[1])
+		gcu.ConvAxis(t3, t2, 2, k[2])
+		shift := uint(l - 1)
+		for i := range acc.Data {
+			acc.Data[i] = fixpoint.SatAdd32(acc.Data[i], t3.Data[i]>>shift)
+		}
+	}
+	return acc
+}

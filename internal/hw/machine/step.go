@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"math"
+
+	"tme4a/internal/core"
+	"tme4a/internal/hw/event"
+	"tme4a/internal/hw/gcu"
+	"tme4a/internal/hw/lru"
+)
+
+// LongRangePhases is the Fig. 10 breakdown of the long-range (TME) part,
+// all in ns.
+type LongRangePhases struct {
+	CA       float64 // charge assignment (LRU) + grid charge transfer
+	SleeveNW float64 // sleeve grid exchange on the torus
+	Restrict float64 // GCU restrictions (all levels)
+	Conv     float64 // GCU level convolutions (all levels), incl. block NW
+	TMENW    float64 // top-level roundtrip (gather + FFT + scatter)
+	Prolong  float64 // GCU prolongations
+	BI       float64 // back interpolation (LRU) + force accumulation
+	CGPGaps  float64 // inter-phase CGP orchestration time
+	Total    float64 // end-to-end long-range latency
+	GCUBusy  float64 // total GCU occupancy (drives NW interference)
+}
+
+// StepReport is the outcome of simulating one MD step.
+type StepReport struct {
+	Chart       *event.Chart
+	StepNs      float64
+	LR          LongRangePhases
+	Integrate1  float64
+	CoordHalo   float64
+	Nonbond     float64
+	Bonded      float64
+	ForceReduce float64
+	Integrate2  float64
+}
+
+// PerformanceNsPerDay returns simulated throughput in ns of simulated time
+// per wall-clock day for a time step of dtFs femtoseconds.
+func (r *StepReport) PerformanceNsPerDay(dtFs float64) float64 {
+	stepsPerDay := 86400e9 / r.StepNs
+	return stepsPerDay * dtFs * 1e-6
+}
+
+// SimulateStep runs the timing model of a single MD time step for the
+// given workload and TME configuration. The model is phase-barriered, as
+// the production software operates (paper Sec. V.A: "some parts of the
+// calculations used resources exclusively"), with the long-range chain
+// overlapping the nonbond/bonded force phase and GCU activity excluding
+// other network traffic — which is what makes enabling long-range
+// electrostatics cost ~10 µs rather than its full ~50 µs latency.
+func (cfg Config) SimulateStep(w *Workload, prm core.Params, withLongRange bool) *StepReport {
+	cal := cfg.Cal
+	chart := &event.Chart{}
+	rep := &StepReport{Chart: chart}
+
+	worstAtoms := maxInt(w.Atoms)
+	worstWaters := maxInt(w.Waters)
+	worstBonded := maxInt(w.BondedTerms)
+	worstPairs := maxFloat(w.Pairs)
+	worstImport := maxFloat(w.ImportAtoms)
+	meanAtoms := w.TotalAtoms / w.NNodes
+
+	// --- Phase 1: integrate (half-kick + drift + constraints) on GP. ---
+	t := 0.0
+	rep.Integrate1 = float64(worstAtoms)*cal.GPIntegrateNsPerAtom +
+		float64(worstWaters)*cal.GPConstraintNsPerWater
+	chart.Add("GP integrate", -1, t, t+rep.Integrate1)
+	t += rep.Integrate1
+
+	// --- Coordinate halo exchange. ---
+	haloBytes := worstImport * cal.HaloBytesPerAtom / 6 // per link
+	rep.CoordHalo = 2*cfg.Torus.HopLatency + haloBytes/cfg.Torus.Bandwidth
+	chart.Add("NW coords", -1, t, t+rep.CoordHalo)
+	t += rep.CoordHalo
+
+	// --- Force phase: nonbond pipelines ∥ GP bonded ∥ long-range chain. ---
+	tF := t
+	rep.Nonbond = worstPairs * cal.PairListFactor / float64(cfg.NPipes) / cfg.PPGHz
+	chart.Add("NB pipeline", -1, tF, tF+rep.Nonbond)
+	rep.Bonded = float64(worstBonded) * cal.GPBondedNsPerTerm
+	chart.Add("GP bonded", -1, tF, tF+rep.Bonded)
+
+	var lrEnd float64
+	if withLongRange {
+		rep.LR = cfg.longRange(chart, tF, meanAtoms, prm)
+		lrEnd = tF + rep.LR.Total
+	}
+
+	tForceEnd := tF + math.Max(rep.Nonbond, rep.Bonded)
+	if lrEnd > tForceEnd {
+		tForceEnd = lrEnd
+	}
+
+	// --- Force reduction (halo forces back over NW). GCU operations are
+	// exclusive to other NW activities, so the long-range GCU occupancy
+	// delays the force return — the source of the paper's ~10 µs (~5%)
+	// cost of incorporating long-range electrostatics. ---
+	rep.ForceReduce = 2*cfg.Torus.HopLatency + haloBytes/cfg.Torus.Bandwidth
+	if withLongRange {
+		rep.ForceReduce += rep.LR.GCUBusy
+	}
+	chart.Add("NW forces", -1, tForceEnd, tForceEnd+rep.ForceReduce)
+	t = tForceEnd + rep.ForceReduce
+
+	// --- Phase 3: second half-kick on GP. ---
+	rep.Integrate2 = float64(worstAtoms)*cal.GPKickNsPerAtom +
+		float64(worstWaters)*cal.GPConstraintNsPerWater*0.5
+	chart.Add("GP integrate", -1, t, t+rep.Integrate2)
+	t += rep.Integrate2
+
+	rep.StepNs = t
+	return rep
+}
+
+// longRange models the TME chain of Sec. V.B, returning the Fig. 10 phase
+// breakdown. t0 is the force-phase start. LRU phases are sized from the
+// mean per-node atom count: the LRU processes its own node's atoms, and
+// straggler waiting surfaces in the GCU synchronization slack (paper:
+// "the apparent duration of the GCU activities includes the waiting for
+// data from the other nodes").
+func (cfg Config) longRange(chart *event.Chart, t0 float64, meanAtoms int, prm core.Params) LongRangePhases {
+	cal := cfg.Cal
+	var lr LongRangePhases
+
+	nodesAxis := cfg.Torus.Size[0]
+	localSide := make([]int, prm.Levels+1) // level l → (N/2^{l-1})/8
+	for l := 1; l <= prm.Levels; l++ {
+		localSide[l] = (prm.N[0] >> uint(l-1)) / nodesAxis
+	}
+	localPts := func(l int) int { return localSide[l] * localSide[l] * localSide[l] }
+	// GCU waiting scales with the per-node grid volume (more blocks in
+	// flight → longer straggler tails); normalized to the 32³ operating
+	// point (4³ = 64 local points).
+	slackScale := func(l int) float64 { return float64(localPts(l)) / 64 }
+	taps := 2*prm.Gc + 1
+	gap := cal.CGPPhaseOverheadNs
+
+	t := t0
+
+	// (1) Charge assignment on the LRUs + grid charge transfer to GM.
+	lr.CA = lru.TimeNs(meanAtoms, cfg.ClockGHz) + float64(localPts(1))*cal.GridXferNsPerPoint
+	chart.Add("LRU", -1, t, t+lr.CA)
+	t += lr.CA + gap
+
+	// (2) Sleeve exchange: the (local+2·4)³ − local³ boundary grid points
+	// move to/from neighbours.
+	ls := localSide[1]
+	sleevePoints := (ls+8)*(ls+8)*(ls+8) - ls*ls*ls
+	sleeveBytes := float64(sleevePoints * 4)
+	lr.SleeveNW = 2*cfg.Torus.HopLatency + sleeveBytes/6/cfg.Torus.Bandwidth
+	chart.Add("NW grid", -1, t, t+lr.SleeveNW)
+	t += lr.SleeveNW + gap
+
+	// (3) Restrictions level by level down to the top grid.
+	for l := 1; l <= prm.Levels; l++ {
+		lr.Restrict += float64(gcu.RestrictCycles(localPts(l), prm.Order))/cfg.ClockGHz +
+			cal.GCUSyncSlackNs*slackScale(l)
+	}
+	chart.Add("GCU restrict", -1, t, t+lr.Restrict)
+	t += lr.Restrict + gap
+	lr.GCUBusy += lr.Restrict
+
+	// (4) TMENW roundtrip ∥ GCU level convolutions (Fig. 10: the TMENW is
+	// initiated at the end of phase 1; the convolutions fill phase 2).
+	topSide := prm.N[0] >> uint(prm.Levels)
+	topBytesPerSoC := float64(topSide*topSide*topSide*4) / float64(cfg.Octree.NSoCs())
+	lr.TMENW = cfg.Octree.RoundTripNs(topBytesPerSoC, cfg.TopSolveNs)
+	chart.Add("TMENW", -1, t, t+lr.TMENW)
+
+	// GCU throughput relative to the built machine's 12 points/cycle.
+	gcuScale := float64(gcu.PointsPerCycle) / float64(cfg.GCUPointsCycle)
+	for l := 1; l <= prm.Levels; l++ {
+		compute := float64(gcu.ConvCycles(localPts(l), taps, prm.M)) / cfg.ClockGHz * gcuScale
+		// Block exchange: convolution inputs arrive from ±g_c grid points
+		// along each axis as 4×4×4 blocks of 256 B.
+		blocksAxis := 2 * (prm.Gc / 4) * (localSide[l] / 4) * (localSide[l] / 4)
+		hops := (prm.Gc + localSide[l] - 1) / localSide[l]
+		nwT := float64(hops)*cfg.Torus.HopLatency + float64(blocksAxis)*256/cfg.Torus.Bandwidth
+		lr.Conv += compute + 3*nwT + cal.GCUConvSlackNs*slackScale(l)
+	}
+	chart.Add("GCU conv", -1, t, t+lr.Conv)
+	lr.GCUBusy += lr.Conv
+
+	t += math.Max(lr.TMENW, lr.Conv) + gap
+
+	// (5) Prolongations back up.
+	for l := prm.Levels; l >= 1; l-- {
+		lr.Prolong += float64(gcu.ProlongCycles(localPts(l), prm.Order))/cfg.ClockGHz +
+			cal.GCUSyncSlackNs*slackScale(l)
+	}
+	chart.Add("GCU prolong", -1, t, t+lr.Prolong)
+	lr.GCUBusy += lr.Prolong
+	t += lr.Prolong + gap
+
+	// (6) Back interpolation and force accumulation to global memory.
+	lr.BI = lru.TimeNs(meanAtoms, cfg.ClockGHz) + float64(localPts(1))*cal.GridXferNsPerPoint
+	chart.Add("LRU", -1, t, t+lr.BI)
+	t += lr.BI + gap // trailing gap: CGP confirms the "end" message
+
+	lr.CGPGaps = 6 * gap
+	lr.Total = t - t0
+	return lr
+}

@@ -1,0 +1,78 @@
+// Package octree models the TME top-level network (TMENW) of MDGRAPE-4A
+// (paper Sec. IV.C and Fig. 7): the tree that gathers top-level grid
+// charges from all 512 SoCs to the root FPGA and scatters the grid
+// potentials back.
+//
+// Topology: 8 SoCs → IO FPGA → control FPGA per board (64 boards);
+// 8 boards → leaf FPGA (8 leaves); 8 leaves → root FPGA. The optical links
+// run 4 lanes of 10.3125 Gbps, i.e. 40 Gbps (5 bytes/ns) after 64B66B
+// decoding.
+//
+// The per-stage software/protocol overhead is a calibrated parameter: the
+// paper reports the measured roundtrip "less than 20 µs" and attributes
+// the gap from raw link numbers to transfer protocol latency and CGP
+// software management; the default calibration reproduces that measurement
+// (see internal/hw/machine/calibration.go).
+package octree
+
+// Config describes the TMENW geometry and link characteristics.
+type Config struct {
+	SoCsPerBoard  int
+	Boards        int
+	BoardsPerLeaf int
+	Leaves        int
+	LinkBandwidth float64 // bytes/ns (5 = 40 Gbps)
+	StageLatency  float64 // ns: hardware forwarding latency per stage
+	StageOverhead float64 // ns: calibrated protocol/software overhead per stage
+	GatherStages  int     // SoC→control, control→leaf, leaf→root
+}
+
+// MDGRAPE4A returns the production TMENW configuration with the published
+// hardware constants; StageOverhead is the calibrated term.
+func MDGRAPE4A(stageOverheadNs float64) Config {
+	return Config{
+		SoCsPerBoard:  8,
+		Boards:        64,
+		BoardsPerLeaf: 8,
+		Leaves:        8,
+		LinkBandwidth: 5.0,
+		StageLatency:  250,
+		StageOverhead: stageOverheadNs,
+		GatherStages:  3,
+	}
+}
+
+// NSoCs returns the total SoC count served by the tree.
+func (c Config) NSoCs() int { return c.SoCsPerBoard * c.Boards }
+
+// GatherTimeNs returns the time to gather bytesPerSoC from every SoC to
+// the root. Links at the same stage run in parallel; within a stage the
+// children of one parent serialize on the parent's ingress. With
+// GatherStages == 2 the model evaluates the paper's Sec. VI.B proposal of
+// connecting SoCs directly to the leaf FPGAs (dropping the board-level
+// control-FPGA hop).
+func (c Config) GatherTimeNs(bytesPerSoC float64) float64 {
+	perBoard := float64(c.SoCsPerBoard) * bytesPerSoC
+	// Leaf ingress absorbs all its boards' data over parallel links.
+	t2 := c.StageLatency + c.StageOverhead + float64(c.BoardsPerLeaf)*perBoard/c.LinkBandwidth
+	// Root ingress absorbs all leaf data.
+	perLeaf := float64(c.BoardsPerLeaf) * perBoard
+	t3 := c.StageLatency + c.StageOverhead + float64(c.Leaves)*perLeaf/c.LinkBandwidth
+	if c.GatherStages <= 2 {
+		return t2 + t3
+	}
+	// Stage 1: 8 SoCs serialize into the board's control FPGA.
+	t1 := c.StageLatency + c.StageOverhead + float64(c.SoCsPerBoard)*bytesPerSoC/c.LinkBandwidth
+	return t1 + t2 + t3
+}
+
+// ScatterTimeNs returns the time to broadcast bytesPerSoC back down the
+// tree (symmetric to gather).
+func (c Config) ScatterTimeNs(bytesPerSoC float64) float64 {
+	return c.GatherTimeNs(bytesPerSoC)
+}
+
+// RoundTripNs returns gather + compute + scatter for one top-level solve.
+func (c Config) RoundTripNs(bytesPerSoC, computeNs float64) float64 {
+	return c.GatherTimeNs(bytesPerSoC) + computeNs + c.ScatterTimeNs(bytesPerSoC)
+}

@@ -1,0 +1,53 @@
+package octree
+
+import "testing"
+
+func TestTopology(t *testing.T) {
+	c := MDGRAPE4A(0)
+	if c.NSoCs() != 512 {
+		t.Errorf("SoC count %d, want 512", c.NSoCs())
+	}
+	if c.Boards/c.BoardsPerLeaf != c.Leaves {
+		t.Errorf("leaf fan-in inconsistent: %d boards / %d per leaf != %d leaves",
+			c.Boards, c.BoardsPerLeaf, c.Leaves)
+	}
+}
+
+func TestGatherScalesWithPayload(t *testing.T) {
+	c := MDGRAPE4A(0)
+	small := c.GatherTimeNs(32)
+	big := c.GatherTimeNs(3200)
+	if big <= small {
+		t.Errorf("gather time did not grow with payload: %g vs %g", small, big)
+	}
+	// The dominant term is the root ingress: 512·bytes/5 ns.
+	rootIngress := 512.0 * 3200 / 5
+	if big < rootIngress {
+		t.Errorf("gather %g ns below root serialization bound %g ns", big, rootIngress)
+	}
+}
+
+func TestRoundTripWithinPaperBound(t *testing.T) {
+	// With the production calibration (~1.2 µs/stage software+protocol
+	// overhead) the 16³ top-level roundtrip must be below the measured
+	// "less than 20 µs" and above the raw-hardware floor.
+	c := MDGRAPE4A(1200)
+	bytesPerSoC := 32.0 // 4096 points × 4 B / 512 SoCs
+	rt := c.RoundTripNs(bytesPerSoC, 2112)
+	if rt >= 20000 {
+		t.Errorf("roundtrip %.0f ns, paper reports < 20 µs", rt)
+	}
+	if rt < 5000 {
+		t.Errorf("roundtrip %.0f ns implausibly fast", rt)
+	}
+}
+
+func TestZeroOverheadFloor(t *testing.T) {
+	c := MDGRAPE4A(0)
+	rt := c.RoundTripNs(32, 2112)
+	// Raw hardware floor ≈ 11.1 µs: dominated by the root's ingress
+	// serialization (512 SoCs × 32 B at 5 B/ns each way) plus the FFT.
+	if rt > 12000 || rt < 9000 {
+		t.Errorf("raw floor %g ns outside expected 9–12 µs", rt)
+	}
+}

@@ -1,0 +1,130 @@
+package torus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	cfg := MDGRAPE4A()
+	for id := 0; id < cfg.NNodes(); id++ {
+		if got := cfg.NodeID(cfg.CoordOf(id)); got != id {
+			t.Fatalf("id %d -> %v -> %d", id, cfg.CoordOf(id), got)
+		}
+	}
+}
+
+func TestHopDistanceProperties(t *testing.T) {
+	cfg := MDGRAPE4A()
+	rng := rand.New(rand.NewSource(1))
+	randCoord := func() Coord {
+		return Coord{rng.Intn(8), rng.Intn(8), rng.Intn(8)}
+	}
+	f := func(seed int64) bool {
+		a, b := randCoord(), randCoord()
+		d := cfg.HopDistance(a, b)
+		// Symmetry, identity, torus bound (≤ 4 per axis in an 8-ring).
+		return d == cfg.HopDistance(b, a) &&
+			cfg.HopDistance(a, a) == 0 &&
+			d <= 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopDistanceWrapsShortWay(t *testing.T) {
+	cfg := MDGRAPE4A()
+	// 0 → 7 is one hop through the wraparound.
+	if d := cfg.HopDistance(Coord{0, 0, 0}, Coord{7, 0, 0}); d != 1 {
+		t.Errorf("wrap distance %d, want 1", d)
+	}
+	if d := cfg.HopDistance(Coord{0, 0, 0}, Coord{4, 0, 0}); d != 4 {
+		t.Errorf("half-ring distance %d, want 4", d)
+	}
+}
+
+func TestRouteLengthAndEndpoint(t *testing.T) {
+	cfg := MDGRAPE4A()
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a := Coord{rng.Intn(8), rng.Intn(8), rng.Intn(8)}
+		b := Coord{rng.Intn(8), rng.Intn(8), rng.Intn(8)}
+		path := cfg.Route(a, b)
+		if len(path) != cfg.HopDistance(a, b) {
+			t.Fatalf("route %v->%v has %d hops, want %d", a, b, len(path), cfg.HopDistance(a, b))
+		}
+		if len(path) > 0 && path[len(path)-1] != b {
+			t.Fatalf("route %v->%v ends at %v", a, b, path[len(path)-1])
+		}
+		// Each step moves exactly one hop.
+		cur := a
+		for _, nxt := range path {
+			if cfg.HopDistance(cur, nxt) != 1 {
+				t.Fatalf("non-unit step %v->%v", cur, nxt)
+			}
+			cur = nxt
+		}
+	}
+}
+
+func TestSendNeighborLatency(t *testing.T) {
+	cfg := MDGRAPE4A()
+	nw := NewNetwork(cfg)
+	// 256-byte block to a neighbour: 200 ns + 256/7.2 ns.
+	got := nw.Send(Coord{0, 0, 0}, Coord{1, 0, 0}, 256, 0)
+	want := 200 + 256/7.2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("arrival %g, want %g", got, want)
+	}
+}
+
+func TestSendMultiHopAccumulatesLatency(t *testing.T) {
+	cfg := MDGRAPE4A()
+	nw := NewNetwork(cfg)
+	got := nw.Send(Coord{0, 0, 0}, Coord{2, 3, 0}, 64, 0)
+	hops := 5.0
+	want := hops * (200 + 64/7.2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("arrival %g, want %g", got, want)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	cfg := MDGRAPE4A()
+	nw := NewNetwork(cfg)
+	// Two messages leaving node 0 on the same +x link at t=0: second
+	// serializes behind the first.
+	a1 := nw.Send(Coord{0, 0, 0}, Coord{1, 0, 0}, 720, 0) // 100 ns serialization
+	a2 := nw.Send(Coord{0, 0, 0}, Coord{1, 0, 0}, 720, 0)
+	if a2 <= a1 {
+		t.Errorf("no serialization: %g vs %g", a1, a2)
+	}
+	if math.Abs((a2-a1)-100) > 1e-9 {
+		t.Errorf("serialization gap %g, want 100", a2-a1)
+	}
+	// Opposite-direction link is independent.
+	b := nw.Send(Coord{0, 0, 0}, Coord{7, 0, 0}, 720, 0)
+	if math.Abs(b-(200+100)) > 1e-9 {
+		t.Errorf("−x link should be free: %g", b)
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	nw := NewNetwork(MDGRAPE4A())
+	if got := nw.Send(Coord{3, 3, 3}, Coord{3, 3, 3}, 1000, 42); got != 42 {
+		t.Errorf("self send arrival %g", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	nw := NewNetwork(MDGRAPE4A())
+	nw.Send(Coord{0, 0, 0}, Coord{1, 0, 0}, 1e6, 0)
+	nw.Reset()
+	got := nw.Send(Coord{0, 0, 0}, Coord{1, 0, 0}, 72, 0)
+	if math.Abs(got-210) > 1e-9 {
+		t.Errorf("after reset arrival %g, want 210", got)
+	}
+}

@@ -1,0 +1,99 @@
+package md
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"tme4a/internal/vec"
+)
+
+// Snapshot is the serializable dynamic state of a System (positions and
+// velocities; the static topology is rebuilt by the system builders, which
+// are deterministic in their seeds).
+type Snapshot struct {
+	Box vec.Box
+	Pos []vec.V
+	Vel []vec.V
+	// Meta carries builder parameters (free-form, e.g. lattice side and
+	// seed) so loaders can reconstruct the matching topology.
+	Meta map[string]int64
+}
+
+// TakeSnapshot captures the system's dynamic state.
+func (s *System) TakeSnapshot(meta map[string]int64) *Snapshot {
+	snap := &Snapshot{
+		Box:  s.Box,
+		Pos:  append([]vec.V(nil), s.Pos...),
+		Vel:  append([]vec.V(nil), s.Vel...),
+		Meta: meta,
+	}
+	return snap
+}
+
+// Restore copies a snapshot's dynamic state into the system, which must
+// have the same atom count.
+func (s *System) Restore(snap *Snapshot) error {
+	if len(snap.Pos) != s.N() {
+		return fmt.Errorf("md: snapshot has %d atoms, system has %d", len(snap.Pos), s.N())
+	}
+	s.Box = snap.Box
+	copy(s.Pos, snap.Pos)
+	copy(s.Vel, snap.Vel)
+	return nil
+}
+
+// Encode serializes the snapshot with encoding/gob.
+func (snap *Snapshot) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// ReadSnapshot deserializes a snapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// SaveSnapshot writes the snapshot to a file.
+func SaveSnapshot(path string, snap *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return snap.Encode(f)
+}
+
+// LoadSnapshot reads a snapshot from a file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+// EnergyReporter writes a CSV energy ledger, one row per report, for
+// trajectory analysis (the Fig. 4 series use this format).
+type EnergyReporter struct {
+	W     io.Writer
+	Dt    float64 // ps per step
+	wrote bool
+}
+
+// Report writes one row (writing the header first if needed); it is shaped
+// to plug into Integrator.Run.
+func (r *EnergyReporter) Report(step int, e Energies) {
+	if !r.wrote {
+		fmt.Fprintln(r.W, "time_ps,potential,kinetic,total,coul_short,coul_long,coul_excl,lj,bonded")
+		r.wrote = true
+	}
+	fmt.Fprintf(r.W, "%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+		float64(step)*r.Dt, e.Potential(), e.Kinetic, e.Total(),
+		e.CoulShort, e.CoulLong, e.CoulExcl, e.LJ, e.Bonded)
+}

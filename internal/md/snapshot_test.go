@@ -1,0 +1,130 @@
+package md_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tme4a/internal/md"
+	"tme4a/internal/spme"
+	"tme4a/internal/water"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	box := water.CubicBoxFor(27)
+	sys := water.Build(3, 3, 3, box, 5)
+	sys.InitVelocities(300, rand.New(rand.NewSource(1)))
+	snap := sys.TakeSnapshot(map[string]int64{"side": 3, "seed": 5})
+
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := md.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := water.Build(3, 3, 3, box, 99) // different seed: different positions
+	if err := sys2.Restore(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Pos {
+		if sys2.Pos[i] != sys.Pos[i] || sys2.Vel[i] != sys.Vel[i] {
+			t.Fatalf("state mismatch at atom %d", i)
+		}
+	}
+	if got.Meta["side"] != 3 {
+		t.Errorf("meta lost: %v", got.Meta)
+	}
+}
+
+func TestRestoreRejectsWrongSize(t *testing.T) {
+	a := water.Build(2, 2, 2, water.CubicBoxFor(8), 1)
+	b := water.Build(3, 3, 3, water.CubicBoxFor(27), 1)
+	if err := b.Restore(a.TakeSnapshot(nil)); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+func TestEnergyReporterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	r := &md.EnergyReporter{W: &buf, Dt: 0.001}
+	var e md.Energies
+	e.Kinetic = 2
+	r.Report(1, e)
+	r.Report(2, e)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_ps,") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.0010,") {
+		t.Errorf("first row %q", lines[1])
+	}
+}
+
+// TestMeshEveryTwoConservesEnergyApproximately: multiple-timestepping the
+// mesh at every other step (Anton practice) must remain stable, with only
+// modestly larger energy excursions than every-step evaluation.
+func TestMeshEveryTwoConservesEnergyApproximately(t *testing.T) {
+	run := func(every int) float64 {
+		box := water.CubicBoxFor(125)
+		sys := water.Build(5, 5, 5, box, 42)
+		water.Equilibrate(sys, 100, 0.001, 300, 0.7, 7)
+		rc := 0.7
+		alpha := spme.AlphaFromRTol(rc, 1e-4)
+		mesh := spme.New(spme.Params{Alpha: alpha, Rc: rc, Order: 6, N: [3]int{16, 16, 16}}, sys.Box)
+		integ := &md.Integrator{
+			FF:        &md.ForceField{Alpha: alpha, Rc: rc, Mesh: mesh},
+			Dt:        0.001,
+			MeshEvery: every,
+		}
+		var eMin, eMax float64
+		for s := 0; s < 150; s++ {
+			e := integ.Step(sys)
+			tot := e.Total()
+			if s == 0 {
+				eMin, eMax = tot, tot
+			}
+			eMin = math.Min(eMin, tot)
+			eMax = math.Max(eMax, tot)
+		}
+		return eMax - eMin
+	}
+	s1 := run(1)
+	s2 := run(2)
+	t.Logf("energy spread: every step %.3f, every other %.3f kJ/mol", s1, s2)
+	if s2 > 30*s1+5 {
+		t.Errorf("MeshEvery=2 spread %.3f wildly exceeds every-step %.3f", s2, s1)
+	}
+}
+
+// TestVerletSkinPreservesDynamics: trajectories with and without the
+// buffered pair list must agree (the buffered list reproduces the exact
+// same forces).
+func TestVerletSkinPreservesDynamics(t *testing.T) {
+	mk := func(skin float64) *md.System {
+		box := water.CubicBoxFor(64)
+		sys := water.Build(4, 4, 4, box, 9)
+		sys.InitVelocities(250, rand.New(rand.NewSource(3)))
+		rc := 0.55
+		alpha := spme.AlphaFromRTol(rc, 1e-4)
+		integ := &md.Integrator{
+			FF: &md.ForceField{Alpha: alpha, Rc: rc, Skin: skin},
+			Dt: 0.001,
+		}
+		integ.Run(sys, 80, nil)
+		return sys
+	}
+	a := mk(0)
+	b := mk(0.25)
+	for i := range a.Pos {
+		if a.Pos[i].Sub(b.Pos[i]).Norm() > 1e-9 {
+			t.Fatalf("trajectories diverged at atom %d: %v vs %v", i, a.Pos[i], b.Pos[i])
+		}
+	}
+}

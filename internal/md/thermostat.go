@@ -1,0 +1,80 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+
+	"tme4a/internal/units"
+)
+
+// CSVR is the canonical-sampling-through-velocity-rescaling thermostat of
+// Bussi, Donadio & Parrinello (2007): a global rescaling whose target
+// kinetic energy performs the exact Ornstein–Uhlenbeck process of the
+// canonical ensemble. Unlike Berendsen weak coupling it samples the
+// correct ensemble; with Tau → ∞ it reduces to NVE.
+type CSVR struct {
+	T   float64 // target temperature (K)
+	Tau float64 // coupling time (ps)
+	Rng *rand.Rand
+}
+
+// Apply rescales all velocities by the CSVR factor for one step dt.
+func (c *CSVR) Apply(sys *System, dt float64) {
+	dof := sys.DegreesOfFreedom()
+	if dof <= 0 {
+		return
+	}
+	kin := sys.KineticEnergy()
+	if kin <= 0 {
+		return
+	}
+	kinTarget := 0.5 * float64(dof) * units.Boltzmann * c.T
+	factor := csvrFactor(kin, kinTarget, dof, dt/c.Tau, c.Rng)
+	sys.ScaleVelocities(math.Sqrt(factor))
+}
+
+// csvrFactor returns α² for one step of the stochastic velocity-rescale
+// update (Bussi et al., Eq. (A7)): with c = e^{−Δt/τ},
+//
+//	α² = c + (1−c)·K̄/(Nf·K)·(R₁² + Σ_{i=2}^{Nf} R_i²) + 2R₁·√(c(1−c)K̄/(Nf·K))
+//
+// where the R are standard normal deviates; the Σ term is drawn from a
+// gamma distribution with (Nf−1)/2 degrees of freedom.
+func csvrFactor(kin, kinTarget float64, dof int, dtOverTau float64, rng *rand.Rand) float64 {
+	c := math.Exp(-dtOverTau)
+	r1 := rng.NormFloat64()
+	sumR2 := gammaDeviate(rng, float64(dof-1)/2) * 2 // χ²_{Nf−1}
+	kk := kinTarget / (float64(dof) * kin)
+	alpha2 := c +
+		(1-c)*kk*(r1*r1+sumR2) +
+		2*r1*math.Sqrt(c*(1-c)*kk)
+	if alpha2 < 0 {
+		alpha2 = 0
+	}
+	return alpha2
+}
+
+// gammaDeviate draws from Gamma(shape, 1) by Marsaglia–Tsang.
+func gammaDeviate(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1)·U^{1/a}.
+		return gammaDeviate(rng, shape+1) * math.Pow(rng.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	cc := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + cc*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package md_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tme4a/internal/md"
+	"tme4a/internal/spme"
+	"tme4a/internal/water"
+)
+
+func TestCSVRMaintainsTemperature(t *testing.T) {
+	box := water.CubicBoxFor(125)
+	sys := water.Build(5, 5, 5, box, 21)
+	water.Equilibrate(sys, 100, 0.001, 300, 0.7, 3)
+	rc := 0.7
+	alpha := spme.AlphaFromRTol(rc, 1e-4)
+	integ := &md.Integrator{
+		FF:         &md.ForceField{Alpha: alpha, Rc: rc},
+		Dt:         0.001,
+		Thermostat: &md.CSVR{T: 300, Tau: 0.005, Rng: rand.New(rand.NewSource(4))},
+	}
+	// The freshly built lattice still releases potential energy while it
+	// melts, so the thermostat fights a real heat source; with a tight
+	// 5 fs coupling the kinetic temperature must track the target.
+	var sum float64
+	n := 0
+	integ.Run(sys, 300, func(s int, e md.Energies) {
+		if s > 150 { // after coupling transient
+			sum += sys.Temperature()
+			n++
+		}
+	})
+	mean := sum / float64(n)
+	if math.Abs(mean-300) > 25 {
+		t.Errorf("CSVR mean temperature %.1f K, want ~300 K", mean)
+	}
+}
+
+func TestCSVRWeakCouplingIsNearNVE(t *testing.T) {
+	// With Tau much longer than the run, CSVR must barely perturb the
+	// velocities (it limits to NVE).
+	box := water.CubicBoxFor(64)
+	sys := water.Build(4, 4, 4, box, 9)
+	sys.InitVelocities(300, rand.New(rand.NewSource(5)))
+	k0 := sys.KineticEnergy()
+	c := &md.CSVR{T: 300, Tau: 1e6, Rng: rand.New(rand.NewSource(6))}
+	c.Apply(sys, 0.001)
+	k1 := sys.KineticEnergy()
+	if math.Abs(k1-k0) > 0.01*k0 {
+		t.Errorf("weak-coupling CSVR changed KE by %.3f%%", 100*(k1-k0)/k0)
+	}
+}
+
+func TestCSVRPullsColdSystemUp(t *testing.T) {
+	box := water.CubicBoxFor(64)
+	sys := water.Build(4, 4, 4, box, 9)
+	sys.InitVelocities(100, rand.New(rand.NewSource(7)))
+	c := &md.CSVR{T: 300, Tau: 0.002, Rng: rand.New(rand.NewSource(8))}
+	for i := 0; i < 50; i++ {
+		c.Apply(sys, 0.001)
+	}
+	if temp := sys.Temperature(); temp < 200 {
+		t.Errorf("CSVR left cold system at %.0f K", temp)
+	}
+}

@@ -1,0 +1,79 @@
+package md
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// XYZWriter streams trajectory frames in the ubiquitous XYZ text format
+// (element, x, y, z per atom; coordinates converted from nm to Å), so
+// trajectories can be inspected with standard molecular viewers.
+type XYZWriter struct {
+	w        *bufio.Writer
+	elements []string
+}
+
+// NewXYZWriter wraps w. elements gives the per-atom element symbols; if
+// nil, all atoms are written as "X".
+func NewXYZWriter(w io.Writer, elements []string) *XYZWriter {
+	return &XYZWriter{w: bufio.NewWriter(w), elements: elements}
+}
+
+// WriteFrame appends one frame with the given comment line.
+func (x *XYZWriter) WriteFrame(sys *System, comment string) error {
+	fmt.Fprintf(x.w, "%d\n%s\n", sys.N(), strings.ReplaceAll(comment, "\n", " "))
+	for i, r := range sys.Pos {
+		el := "X"
+		if x.elements != nil {
+			el = x.elements[i]
+		}
+		// nm → Å.
+		fmt.Fprintf(x.w, "%-2s %12.6f %12.6f %12.6f\n", el, r[0]*10, r[1]*10, r[2]*10)
+	}
+	return x.w.Flush()
+}
+
+// WaterElements returns the element symbols of a pure TIP3P system
+// (O, H, H per molecule).
+func WaterElements(nmol int) []string {
+	e := make([]string, 0, 3*nmol)
+	for i := 0; i < nmol; i++ {
+		e = append(e, "O", "H", "H")
+	}
+	return e
+}
+
+// ReadXYZFrame parses one frame from r, returning the element symbols and
+// positions in nm. io.EOF is returned at end of stream.
+func ReadXYZFrame(r *bufio.Reader) (elements []string, pos [][3]float64, comment string, err error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSpace(line), "%d", &n); err != nil {
+		return nil, nil, "", fmt.Errorf("md: bad XYZ atom count %q: %w", strings.TrimSpace(line), err)
+	}
+	cl, err := r.ReadString('\n')
+	if err != nil {
+		return nil, nil, "", err
+	}
+	comment = strings.TrimSpace(cl)
+	elements = make([]string, n)
+	pos = make([][3]float64, n)
+	for i := 0; i < n; i++ {
+		al, err := r.ReadString('\n')
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("md: truncated XYZ frame: %w", err)
+		}
+		var ax, ay, az float64
+		if _, err := fmt.Sscanf(al, "%s %f %f %f", &elements[i], &ax, &ay, &az); err != nil {
+			return nil, nil, "", fmt.Errorf("md: bad XYZ atom line %q: %w", strings.TrimSpace(al), err)
+		}
+		// Å → nm.
+		pos[i] = [3]float64{ax / 10, ay / 10, az / 10}
+	}
+	return elements, pos, comment, nil
+}

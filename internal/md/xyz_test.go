@@ -1,0 +1,61 @@
+package md_test
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"tme4a/internal/md"
+	"tme4a/internal/water"
+)
+
+func TestXYZRoundTrip(t *testing.T) {
+	box := water.CubicBoxFor(8)
+	sys := water.Build(2, 2, 2, box, 3)
+	var buf bytes.Buffer
+	w := md.NewXYZWriter(&buf, md.WaterElements(8))
+	if err := w.WriteFrame(sys, "frame 0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(sys, "frame 1\nwith newline"); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bufio.NewReader(&buf)
+	for frame := 0; frame < 2; frame++ {
+		el, pos, comment, err := md.ReadXYZFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+		if len(el) != sys.N() {
+			t.Fatalf("frame %d: %d atoms", frame, len(el))
+		}
+		if el[0] != "O" || el[1] != "H" {
+			t.Errorf("elements %v...", el[:3])
+		}
+		if frame == 1 && strings.Contains(comment, "\n") {
+			t.Error("newline leaked into comment")
+		}
+		for i := range pos {
+			for k := 0; k < 3; k++ {
+				if math.Abs(pos[i][k]-sys.Pos[i][k]) > 1e-6 {
+					t.Fatalf("frame %d atom %d axis %d: %g vs %g",
+						frame, i, k, pos[i][k], sys.Pos[i][k])
+				}
+			}
+		}
+	}
+	if _, _, _, err := md.ReadXYZFrame(r); err != io.EOF {
+		t.Errorf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestXYZRejectsGarbage(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("not-a-count\ncomment\n"))
+	if _, _, _, err := md.ReadXYZFrame(r); err == nil {
+		t.Error("expected parse error")
+	}
+}

@@ -1,0 +1,189 @@
+// Package msm implements the B-spline multilevel summation method — the
+// comparator the paper measures TME against (Sec. III.C).
+//
+// The structure is identical to TME (Ewald splitting, B-spline charge
+// assignment/back interpolation, two-scale restriction/prolongation,
+// top-level SPME), but each middle-range shell g_{α,l}(r) is convolved
+// directly as a range-limited 3D grid kernel instead of a separable
+// Gaussian sum: cost (2g_c+1)³ per grid point versus TME's 3·M·(2g_c+1).
+// Because no Gaussian approximation is made, MSM is (slightly) more
+// accurate at the same g_c — TME trades that accuracy headroom for
+// separability; the exchange is quantified by the Table 1 benches and the
+// BenchmarkConvSeparableVsDirect ablation.
+//
+// Hardy et al. (2016) formulate B-spline MSM with polynomially softened
+// kernels; following the paper's framing we keep the Ewald-based splitting
+// so MSM and TME differ only in the convolution structure. This is the
+// substitution documented in DESIGN.md.
+package msm
+
+import (
+	"math"
+
+	"tme4a/internal/bspline"
+	"tme4a/internal/core"
+	"tme4a/internal/ewald"
+	"tme4a/internal/grid"
+	"tme4a/internal/pmesh"
+	"tme4a/internal/spme"
+	"tme4a/internal/topol"
+	"tme4a/internal/units"
+	"tme4a/internal/vec"
+)
+
+// Params configures a B-spline MSM solver. The fields mirror core.Params
+// without the Gaussian count M.
+type Params struct {
+	Alpha  float64
+	Rc     float64
+	Order  int
+	N      [3]int
+	Levels int
+	Gc     int
+}
+
+// Solver holds precomputed 3D level kernels.
+type Solver struct {
+	Prm    Params
+	Box    vec.Box
+	Mesher *pmesh.Mesher
+
+	j      []float64
+	kernel []float64 // 3D grid kernel of g_{α,1}, side 2·Gc+1 (level-invariant)
+	top    *spme.Solver
+}
+
+// New precomputes the MSM solver for the box.
+func New(prm Params, box vec.Box) *Solver {
+	var topN [3]int
+	for jx := 0; jx < 3; jx++ {
+		topN[jx] = prm.N[jx] >> prm.Levels
+	}
+	s := &Solver{
+		Prm:    prm,
+		Box:    box,
+		Mesher: pmesh.NewMesher(prm.Order, prm.N, box),
+		j:      bspline.TwoScale(prm.Order),
+	}
+	s.kernel = levelKernel3D(prm, s.Mesher.H())
+	s.top = spme.New(spme.Params{
+		Alpha: prm.Alpha / math.Pow(2, float64(prm.Levels)),
+		Rc:    prm.Rc,
+		Order: prm.Order,
+		N:     topN,
+	}, box)
+	return s
+}
+
+// levelKernel3D builds the B-spline representation of g_{α,1} on the grid:
+// samples of the shell at grid displacements, convolved with ω′ along each
+// axis (the 3D analogue of bspline.GridKernel), truncated to |m_j| ≤ g_c.
+//
+// By the self-similarity g_{α,l}(r) = g_{α,1}(r/2^{l−1})/2^{l−1} and the
+// level-l grid spacing 2^{l−1}h, the same kernel serves every level with a
+// 1/2^{l−1} prefactor.
+func levelKernel3D(prm Params, h vec.V) []float64 {
+	gc := prm.Gc
+	// ω′ reach: beyond ~25 entries the filter is below double precision.
+	const pad = 26
+	ext := gc + pad
+	side := 2*ext + 1
+	buf := make([]float64, side*side*side)
+	// Sample the exact shell on the extended grid.
+	for mz := -ext; mz <= ext; mz++ {
+		for my := -ext; my <= ext; my++ {
+			for mx := -ext; mx <= ext; mx++ {
+				r := math.Sqrt(float64(mx*mx)*h[0]*h[0] + float64(my*my)*h[1]*h[1] + float64(mz*mz)*h[2]*h[2])
+				buf[(mx+ext)+side*((my+ext)+side*(mz+ext))] = core.ShellExact(prm.Alpha, 1, r)
+			}
+		}
+	}
+	// Convolve ω′ along each axis (non-periodic; the shell has decayed to
+	// negligible values at the padded boundary).
+	wp := bspline.OmegaSq(prm.Order, pad)
+	tmp := make([]float64, side*side*side)
+	convAxis := func(src, dst []float64, axis int) {
+		strides := [3]int{1, side, side * side}
+		st := strides[axis]
+		for c := 0; c < side; c++ {
+			for b := 0; b < side; b++ {
+				var base int
+				switch axis {
+				case 0:
+					base = side * (b + side*c)
+				case 1:
+					base = b + side*side*c
+				default:
+					base = b + side*c
+				}
+				for i := 0; i < side; i++ {
+					var sum float64
+					for m := -pad; m <= pad; m++ {
+						jj := i - m
+						if jj < 0 || jj >= side {
+							continue
+						}
+						sum += wp[m+pad] * src[base+jj*st]
+					}
+					dst[base+i*st] = sum
+				}
+			}
+		}
+	}
+	convAxis(buf, tmp, 0)
+	convAxis(tmp, buf, 1)
+	convAxis(buf, tmp, 2)
+	// Truncate to the g_c window.
+	k := 2*gc + 1
+	out := make([]float64, k*k*k)
+	for mz := -gc; mz <= gc; mz++ {
+		for my := -gc; my <= gc; my++ {
+			for mx := -gc; mx <= gc; mx++ {
+				out[(mx+gc)+k*((my+gc)+k*(mz+gc))] =
+					tmp[(mx+ext)+side*((my+ext)+side*(mz+ext))]
+			}
+		}
+	}
+	return out
+}
+
+// Kernel3D returns the precomputed level-1 grid kernel (read-only), side
+// 2·Gc+1 per axis.
+func (s *Solver) Kernel3D() []float64 { return s.kernel }
+
+// MeshPotential runs charge assignment, restrictions, direct 3D level
+// convolutions, top-level SPME and prolongations, returning the finest-grid
+// potential in kJ mol⁻¹ e⁻¹.
+func (s *Solver) MeshPotential(pos []vec.V, q []float64) *grid.G {
+	qg := s.Mesher.Assign(pos, q)
+	L := s.Prm.Levels
+	charges := make([]*grid.G, L+2)
+	charges[1] = qg
+	for l := 1; l <= L; l++ {
+		charges[l+1] = grid.Restrict(charges[l], s.j)
+	}
+	phi := s.top.PotentialGrid(charges[L+1])
+	for l := L; l >= 1; l-- {
+		up := grid.Prolong(phi, s.j)
+		conv := grid.ConvDirect3D(charges[l], s.kernel, s.Prm.Gc)
+		conv.Scale(units.Coulomb / math.Pow(2, float64(l-1)))
+		up.AddGrid(conv)
+		phi = up
+	}
+	return phi
+}
+
+// LongRange computes the mesh part plus self energy, accumulating forces
+// into f (may be nil).
+func (s *Solver) LongRange(pos []vec.V, q []float64, f []vec.V) float64 {
+	phi := s.MeshPotential(pos, q)
+	return s.Mesher.Interpolate(phi, pos, q, f) + ewald.SelfEnergy(q, s.Prm.Alpha)
+}
+
+// Coulomb computes the full MSM Coulomb energy, accumulating forces into f.
+func (s *Solver) Coulomb(pos []vec.V, q []float64, excl *topol.Exclusions, f []vec.V) float64 {
+	e := ewald.RealSpace(s.Box, pos, q, s.Prm.Alpha, s.Prm.Rc, excl, f)
+	e += s.LongRange(pos, q, f)
+	e += ewald.ExclusionCorrection(s.Box, pos, q, s.Prm.Alpha, excl, f)
+	return e
+}

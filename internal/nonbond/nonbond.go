@@ -1,0 +1,84 @@
+// Package nonbond computes the short-range nonbonded interactions: the
+// real-space (erfc-screened) Coulomb term of Ewald-split electrostatics and
+// Lennard-Jones dispersion/repulsion, over a linked-cell pair list.
+//
+// This is the computation the MDGRAPE-4A "nonbond pipelines" perform: 64
+// dedicated pipelines per SoC evaluating one pair interaction per cycle.
+// The cycle model of those pipelines lives in internal/hw; this package is
+// the numerical implementation.
+package nonbond
+
+import (
+	"math"
+
+	"tme4a/internal/celllist"
+	"tme4a/internal/topol"
+	"tme4a/internal/units"
+	"tme4a/internal/vec"
+)
+
+// LJ holds per-atom Lennard-Jones parameters; atoms with Eps == 0 carry no
+// LJ site. Pair parameters follow Lorentz–Berthelot combining rules.
+type LJ struct {
+	Sigma []float64 // nm
+	Eps   []float64 // kJ/mol
+}
+
+// Result reports the short-range energy components in kJ/mol.
+type Result struct {
+	ECoul float64 // erfc-screened Coulomb
+	ELJ   float64 // Lennard-Jones
+	Pairs int     // interacting pairs evaluated (within cutoff)
+}
+
+// Compute evaluates short-range interactions for all non-excluded pairs
+// within rc, accumulating forces into f (may be nil). alpha is the Ewald
+// splitting parameter; pass alpha = 0 for plain (unscreened) Coulomb.
+func Compute(box vec.Box, pos []vec.V, q []float64, lj *LJ, alpha, rc float64, excl *topol.Exclusions, f []vec.V) Result {
+	cl := celllist.Build(box, rc, pos)
+	return ComputeWithList(cl, box, pos, q, lj, alpha, excl, f)
+}
+
+// ComputeWithList is Compute with a prebuilt cell list (so callers stepping
+// an MD trajectory can reuse the list while atoms move less than the skin).
+func ComputeWithList(cl *celllist.List, box vec.Box, pos []vec.V, q []float64, lj *LJ, alpha float64, excl *topol.Exclusions, f []vec.V) Result {
+	var res Result
+	cl.ForEachPair(pos, func(i, j int, d vec.V, r2 float64) {
+		if excl.Excluded(i, j) {
+			return
+		}
+		res.Pairs++
+		r := math.Sqrt(r2)
+		inv2 := 1 / r2
+		var fr float64 // radial force / r, so F_i = fr·d
+
+		if qq := q[i] * q[j]; qq != 0 {
+			var e float64
+			if alpha > 0 {
+				e = qq * math.Erfc(alpha*r) / r * units.Coulomb
+				fr += (e + qq*units.Coulomb*alpha*twoOverSqrtPi*math.Exp(-alpha*alpha*r2)) * inv2
+			} else {
+				e = qq / r * units.Coulomb
+				fr += e * inv2
+			}
+			res.ECoul += e
+		}
+		if lj != nil && lj.Eps[i] != 0 && lj.Eps[j] != 0 {
+			eps := math.Sqrt(lj.Eps[i] * lj.Eps[j])
+			sig := 0.5 * (lj.Sigma[i] + lj.Sigma[j])
+			sr2 := sig * sig * inv2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			res.ELJ += 4 * eps * (sr12 - sr6)
+			fr += 24 * eps * (2*sr12 - sr6) * inv2
+		}
+		if f != nil && fr != 0 {
+			fv := d.Scale(fr)
+			f[i] = f[i].Add(fv)
+			f[j] = f[j].Sub(fv)
+		}
+	})
+	return res
+}
+
+const twoOverSqrtPi = 2 / 1.7724538509055160273

@@ -1,0 +1,114 @@
+// Package par provides small data-parallel helpers (worker-pool loops and
+// reductions) used by the hot loops of the force and mesh modules.
+//
+// The helpers degrade gracefully to plain sequential loops when GOMAXPROCS
+// is one or the trip count is small, so there is no goroutine overhead on
+// single-core hosts.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minChunk is the smallest per-worker slice of iterations worth spawning a
+// goroutine for.
+const minChunk = 64
+
+// For runs body(i) for every i in [0, n) using up to GOMAXPROCS workers.
+// body must be safe to call concurrently for distinct i.
+func For(n int, body func(i int)) {
+	ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange splits [0, n) into contiguous chunks and runs body(lo, hi) for
+// each chunk, using up to GOMAXPROCS workers. It is the preferred form for
+// loops that carry per-worker scratch state.
+func ForRange(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Workers returns the number of workers ForRange would use for n items.
+func Workers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// SumFloat64 computes body(i) summed over [0, n) with a parallel reduction.
+// body must be pure with respect to shared state.
+func SumFloat64(n int, body func(i int) float64) float64 {
+	workers := Workers(n)
+	if workers == 1 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += body(i)
+		}
+		return s
+	}
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += body(i)
+			}
+			partial[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}

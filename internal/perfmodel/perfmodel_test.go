@@ -1,0 +1,92 @@
+package perfmodel
+
+import (
+	"testing"
+)
+
+// TestCostTableMatchesSecIIIC checks the paper's Sec. III.C conclusion:
+// at the MDGRAPE-4A operating points (g_c = 8, M = 4, N_x/P_x ∈ {4, 8})
+// both the computational and the communication costs of TME are lower
+// than B-spline MSM's.
+func TestCostTableMatchesSecIIIC(t *testing.T) {
+	rows := CostTable(8, 4)
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CompRatio <= 1 {
+			t.Errorf("γ=%.1f: TME compute not cheaper (ratio %.2f)", r.Gamma, r.CompRatio)
+		}
+		if r.CommRatio <= 1 {
+			t.Errorf("γ=%.1f: TME communication not cheaper (ratio %.2f)", r.Gamma, r.CommRatio)
+		}
+	}
+	// Exact formula spot checks: (2·8+1)³ = 4913 taps vs 3·17·4 = 204.
+	if got := CompCostMSM(8, 4); got != 4913*64 {
+		t.Errorf("CompCostMSM = %g", got)
+	}
+	if got := CompCostTME(8, 4, 4); got != 3*17*64*4 {
+		t.Errorf("CompCostTME = %g", got)
+	}
+	// Communication formulas at γ = 0.5: (8+6+1.5)·512 and (2+16)·0.25·512.
+	if got := CommCostMSM(8, 0.5); got != 15.5*512 {
+		t.Errorf("CommCostMSM = %g", got)
+	}
+	if got := CommCostTME(8, 4, 0.5); got != 18*0.25*512 {
+		t.Errorf("CommCostTME = %g", got)
+	}
+}
+
+// TestScalingCrossover reproduces the cited strong-scaling behaviour:
+// PME wins at small core counts, the multilevel methods win at large
+// counts, with the crossover in the hundreds of cores.
+func TestScalingCrossover(t *testing.T) {
+	s := DefaultScaling()
+	// Small p: PME faster (its compute parallelizes; halo terms dominate
+	// the multilevel methods' fixed overheads).
+	if !(s.PMETime(8) < s.MSMTime(8)) {
+		t.Errorf("at p=8 PME (%.0f) should beat MSM (%.0f)", s.PMETime(8), s.MSMTime(8))
+	}
+	// Large p: both multilevel methods beat PME.
+	if !(s.MSMTime(4096) < s.PMETime(4096)) {
+		t.Errorf("at p=4096 MSM (%.0f) should beat PME (%.0f)", s.MSMTime(4096), s.PMETime(4096))
+	}
+	if !(s.TMETime(4096) < s.PMETime(4096)) {
+		t.Errorf("at p=4096 TME (%.0f) should beat PME (%.0f)", s.TMETime(4096), s.PMETime(4096))
+	}
+	// Crossover between 64 and 2048 cores (Hardy et al. report ~512).
+	var crossover int
+	for p := 8; p <= 8192; p *= 2 {
+		if s.MSMTime(p) < s.PMETime(p) {
+			crossover = p
+			break
+		}
+	}
+	if crossover == 0 || crossover < 64 || crossover > 2048 {
+		t.Errorf("MSM/PME crossover at p=%d, expected within [64, 2048]", crossover)
+	}
+	// TME is never slower than MSM at the operating parameters.
+	for p := 8; p <= 8192; p *= 2 {
+		if s.TMETime(p) > s.MSMTime(p) {
+			t.Errorf("p=%d: TME (%.0f) slower than MSM (%.0f)", p, s.TMETime(p), s.MSMTime(p))
+		}
+	}
+}
+
+func TestLiteratureRows(t *testing.T) {
+	rows := LiteratureRows()
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 literature rows, got %d", len(rows))
+	}
+	// Ordering of machines by throughput must match Table 2.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PerfUsPerDay <= rows[i-1].PerfUsPerDay {
+			t.Errorf("rows not in increasing throughput order: %v", rows)
+		}
+	}
+	for _, r := range rows {
+		if !r.FromLiterature {
+			t.Errorf("row %q should be marked literature", r.System)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package pmesh implements the particle–mesh operations shared by SPME,
+// B-spline MSM and TME: charge assignment (anterpolation, paper Eq. (12))
+// and back interpolation of potentials, energies and forces (Eq. (13)–(17)).
+//
+// These are the operations the MDGRAPE-4A LRU accelerates in hardware; this
+// package is the double-precision software reference. The fixed-point
+// hardware datapath lives in internal/hw/lru.
+package pmesh
+
+import (
+	"fmt"
+
+	"tme4a/internal/bspline"
+	"tme4a/internal/grid"
+	"tme4a/internal/vec"
+)
+
+// Mesher spreads charges onto, and gathers potentials from, a periodic
+// N[0]×N[1]×N[2] mesh over box using order-p central B-splines.
+type Mesher struct {
+	P   int
+	N   [3]int
+	Box vec.Box
+	// invH[j] = N[j]/L[j] converts coordinates to grid units.
+	invH [3]float64
+}
+
+// NewMesher returns a mesher of even B-spline order p on an N-point grid
+// over box.
+func NewMesher(p int, n [3]int, box vec.Box) *Mesher {
+	if p < 2 || p%2 != 0 {
+		panic(fmt.Sprintf("pmesh: order must be even and >= 2, got %d", p))
+	}
+	m := &Mesher{P: p, N: n, Box: box}
+	for j := 0; j < 3; j++ {
+		if n[j] < p {
+			panic(fmt.Sprintf("pmesh: grid dimension %d smaller than spline order %d", n[j], p))
+		}
+		m.invH[j] = float64(n[j]) / box.L[j]
+	}
+	return m
+}
+
+// H returns the grid spacings (h_x, h_y, h_z).
+func (m *Mesher) H() vec.V {
+	return vec.V{1 / m.invH[0], 1 / m.invH[1], 1 / m.invH[2]}
+}
+
+// Assign spreads the charges q at positions pos onto a fresh grid
+// (charge assignment, Eq. (12)). Positions may lie outside the primary box;
+// they are wrapped periodically.
+func (m *Mesher) Assign(pos []vec.V, q []float64) *grid.G {
+	g := grid.New(m.N[0], m.N[1], m.N[2])
+	m.AssignTo(g, pos, q)
+	return g
+}
+
+// AssignTo accumulates the charge assignment onto an existing grid.
+func (m *Mesher) AssignTo(g *grid.G, pos []vec.V, q []float64) {
+	p := m.P
+	var wx, wy, wz, d [16]float64
+	nx, ny, nz := m.N[0], m.N[1], m.N[2]
+	for i, r := range pos {
+		qi := q[i]
+		if qi == 0 {
+			continue
+		}
+		ux := r[0] * m.invH[0]
+		uy := r[1] * m.invH[1]
+		uz := r[2] * m.invH[2]
+		mx := bspline.Weights(p, ux, wx[:p], d[:p])
+		my := bspline.Weights(p, uy, wy[:p], d[:p])
+		mz := bspline.Weights(p, uz, wz[:p], d[:p])
+		for c := 0; c < p; c++ {
+			iz := wrap(mz+c, nz)
+			qz := qi * wz[c]
+			for b := 0; b < p; b++ {
+				iy := wrap(my+b, ny)
+				qyz := qz * wy[b]
+				row := g.Data[nx*(iy+ny*iz) : nx*(iy+ny*iz)+nx]
+				for a := 0; a < p; a++ {
+					row[wrap(mx+a, nx)] += qyz * wx[a]
+				}
+			}
+		}
+	}
+}
+
+// Interpolate gathers the per-atom electrostatic potentials φ_i from the
+// grid potential phi (Eq. (15)) and accumulates forces F_i = −q_i ∇φ(r_i)
+// (Eq. (16)–(17)) into f. It returns the interaction energy
+// E = ½ Σ q_i φ_i (Eq. (14)).
+func (m *Mesher) Interpolate(phi *grid.G, pos []vec.V, q []float64, f []vec.V) float64 {
+	p := m.P
+	var wx, wy, wz, dx, dy, dz [16]float64
+	nx, ny, nz := m.N[0], m.N[1], m.N[2]
+	var energy float64
+	for i, r := range pos {
+		qi := q[i]
+		if qi == 0 {
+			continue
+		}
+		ux := r[0] * m.invH[0]
+		uy := r[1] * m.invH[1]
+		uz := r[2] * m.invH[2]
+		mx := bspline.Weights(p, ux, wx[:p], dx[:p])
+		my := bspline.Weights(p, uy, wy[:p], dy[:p])
+		mz := bspline.Weights(p, uz, wz[:p], dz[:p])
+		var pot, gx, gy, gz float64
+		for c := 0; c < p; c++ {
+			iz := wrap(mz+c, nz)
+			for b := 0; b < p; b++ {
+				iy := wrap(my+b, ny)
+				row := phi.Data[nx*(iy+ny*iz) : nx*(iy+ny*iz)+nx]
+				wyz := wy[b] * wz[c]
+				dyz := dy[b] * wz[c]
+				wdz := wy[b] * dz[c]
+				for a := 0; a < p; a++ {
+					v := row[wrap(mx+a, nx)]
+					pot += v * wx[a] * wyz
+					gx += v * dx[a] * wyz
+					gy += v * wx[a] * dyz
+					gz += v * wx[a] * wdz
+				}
+			}
+		}
+		energy += 0.5 * qi * pot
+		if f != nil {
+			// ∇φ picks up 1/h per axis from d/dr = (1/h) d/du.
+			f[i][0] -= qi * gx * m.invH[0]
+			f[i][1] -= qi * gy * m.invH[1]
+			f[i][2] -= qi * gz * m.invH[2]
+		}
+	}
+	return energy
+}
+
+// PotentialAt interpolates the grid potential at a single position
+// (used by tests and diagnostics).
+func (m *Mesher) PotentialAt(phi *grid.G, r vec.V) float64 {
+	p := m.P
+	var wx, wy, wz, d [16]float64
+	mx := bspline.Weights(p, r[0]*m.invH[0], wx[:p], d[:p])
+	my := bspline.Weights(p, r[1]*m.invH[1], wy[:p], d[:p])
+	mz := bspline.Weights(p, r[2]*m.invH[2], wz[:p], d[:p])
+	var pot float64
+	for c := 0; c < p; c++ {
+		for b := 0; b < p; b++ {
+			for a := 0; a < p; a++ {
+				pot += phi.At(mx+a, my+b, mz+c) * wx[a] * wy[b] * wz[c]
+			}
+		}
+	}
+	return pot
+}
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}

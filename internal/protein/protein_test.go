@@ -1,0 +1,119 @@
+package protein
+
+import (
+	"math"
+	"testing"
+
+	"tme4a/internal/vec"
+)
+
+func TestPaperTargetCounts(t *testing.T) {
+	ps := Build(PaperTarget())
+	if ps.N() != 80540 {
+		t.Fatalf("total atoms %d, want 80540", ps.N())
+	}
+	if ps.ProteinAtoms != 480*16 {
+		t.Errorf("protein atoms %d, want %d", ps.ProteinAtoms, 480*16)
+	}
+	if ps.ProteinAtoms+ps.Ions+3*ps.Waters != ps.N() {
+		t.Errorf("component counts inconsistent: %d + %d + 3·%d != %d",
+			ps.ProteinAtoms, ps.Ions, ps.Waters, ps.N())
+	}
+	if err := ps.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeutrality(t *testing.T) {
+	ps := Build(PaperTarget())
+	var q float64
+	for _, qi := range ps.Q {
+		q += qi
+	}
+	if math.Abs(q) > 1e-9 {
+		t.Errorf("net charge %g e, want 0 (protein + counter-ions)", q)
+	}
+}
+
+func TestBondedTopologySizes(t *testing.T) {
+	ps := Build(PaperTarget())
+	n := ps.ProteinAtoms
+	if len(ps.Bonded.Bonds) != n-1 {
+		t.Errorf("bonds %d, want %d", len(ps.Bonded.Bonds), n-1)
+	}
+	if len(ps.Bonded.Angles) != n-2 {
+		t.Errorf("angles %d, want %d", len(ps.Bonded.Angles), n-2)
+	}
+	if len(ps.Bonded.Dihedrals) != n-3 {
+		t.Errorf("dihedrals %d, want %d", len(ps.Bonded.Dihedrals), n-3)
+	}
+}
+
+func TestChainGeometry(t *testing.T) {
+	ps := Build(PaperTarget())
+	// Consecutive chain atoms sit at the bond length.
+	for i := 1; i < ps.ProteinAtoms; i++ {
+		d := ps.Pos[i].Sub(ps.Pos[i-1]).Norm()
+		if math.Abs(d-0.15) > 1e-9 {
+			t.Fatalf("bond %d length %g, want 0.15", i, d)
+		}
+	}
+}
+
+func TestProteinDensityNearLiquid(t *testing.T) {
+	// The density cap must keep the globule near liquid atom density so
+	// the machine workload's load imbalance is realistic.
+	p := PaperTarget()
+	ps := Build(p)
+	center := vec.V{p.Box.L[0] / 2, p.Box.L[1] / 2, p.Box.L[2] / 2}
+	// Count protein atoms within a 1.5 nm core sphere.
+	const coreR = 1.5
+	n := 0
+	for i := 0; i < ps.ProteinAtoms; i++ {
+		if ps.Pos[i].Sub(center).Norm() < coreR {
+			n++
+		}
+	}
+	density := float64(n) / (4.0 / 3.0 * math.Pi * coreR * coreR * coreR)
+	if density > 250 {
+		t.Errorf("core protein density %.0f atoms/nm³ — too clumped (liquid ≈ 100)", density)
+	}
+	if density < 20 {
+		t.Errorf("core protein density %.0f atoms/nm³ — too sparse", density)
+	}
+}
+
+func TestWatersOutsideProteinCells(t *testing.T) {
+	ps := Build(PaperTarget())
+	// No water oxygen should sit closer than ~0.15 nm to a protein atom
+	// (they were placed on unoccupied cells). Spot check against a sample
+	// of protein atoms using a coarse cell structure would be O(N²); we
+	// check a random subset instead.
+	step := 97
+	minD := math.Inf(1)
+	for wi := 0; wi < len(ps.RigidWaters); wi += step {
+		o := ps.Pos[ps.RigidWaters[wi][0]]
+		for pi := 0; pi < ps.ProteinAtoms; pi += 13 {
+			d := ps.Box.MinImage(o.Sub(ps.Pos[pi])).Norm()
+			if d < minD {
+				minD = d
+			}
+		}
+	}
+	if minD < 0.05 {
+		t.Errorf("water oxygen %g nm from protein atom — overlapping placement", minD)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Build(PaperTarget())
+	b := Build(PaperTarget())
+	if a.N() != b.N() {
+		t.Fatal("nondeterministic atom count")
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatalf("nondeterministic position at %d", i)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package quad provides Gauss–Legendre quadrature rules.
+//
+// The TME method (paper Eq. (6)–(7)) approximates the middle-range Ewald
+// shells by an M-point Gauss–Legendre discretisation of an integral of
+// Gaussians; this package supplies the nodes and weights on [−1, 1].
+package quad
+
+import "math"
+
+// GaussLegendre returns the n nodes and weights of the Gauss–Legendre
+// quadrature rule on [−1, 1], ordered by increasing node. The rule
+// integrates polynomials up to degree 2n−1 exactly.
+//
+// Nodes are found by Newton iteration on the Legendre polynomial Pₙ starting
+// from the Chebyshev-based asymptotic guess; this converges to full double
+// precision for all practical n.
+func GaussLegendre(n int) (nodes, weights []float64) {
+	if n < 1 {
+		panic("quad: GaussLegendre needs n >= 1")
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	for i := 0; i < (n+1)/2; i++ {
+		// Initial guess: Chebyshev-like approximation of the i-th root.
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var dp float64
+		for iter := 0; iter < 100; iter++ {
+			p, d := legendre(n, x)
+			dp = d
+			dx := p / d
+			x -= dx
+			if math.Abs(dx) < 1e-16 {
+				break
+			}
+		}
+		// Refresh derivative at the converged root for the weight.
+		_, dp = legendre(n, x)
+		w := 2 / ((1 - x*x) * dp * dp)
+		nodes[i] = -x
+		nodes[n-1-i] = x
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	if n%2 == 1 {
+		// The middle node of an odd rule is exactly zero.
+		nodes[n/2] = 0
+		_, dp := legendre(n, 0)
+		weights[n/2] = 2 / (dp * dp)
+	}
+	return nodes, weights
+}
+
+// legendre evaluates the Legendre polynomial Pₙ and its derivative at x
+// using the three-term recurrence.
+func legendre(n int, x float64) (p, dp float64) {
+	p0, p1 := 1.0, x
+	if n == 0 {
+		return 1, 0
+	}
+	for k := 2; k <= n; k++ {
+		p0, p1 = p1, ((2*float64(k)-1)*x*p1-(float64(k)-1)*p0)/float64(k)
+	}
+	// dPₙ/dx = n (x Pₙ − Pₙ₋₁) / (x² − 1)
+	dp = float64(n) * (x*p1 - p0) / (x*x - 1)
+	return p1, dp
+}

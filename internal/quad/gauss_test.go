@@ -1,0 +1,106 @@
+package quad
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussLegendreKnownValues(t *testing.T) {
+	// 2-point rule: nodes ±1/√3, weights 1.
+	n, w := GaussLegendre(2)
+	if math.Abs(n[1]-1/math.Sqrt(3)) > 1e-14 || math.Abs(n[0]+1/math.Sqrt(3)) > 1e-14 {
+		t.Errorf("2-point nodes wrong: %v", n)
+	}
+	if math.Abs(w[0]-1) > 1e-14 || math.Abs(w[1]-1) > 1e-14 {
+		t.Errorf("2-point weights wrong: %v", w)
+	}
+	// 3-point rule: nodes 0, ±√(3/5); weights 8/9, 5/9.
+	n, w = GaussLegendre(3)
+	if math.Abs(n[1]) > 1e-14 || math.Abs(n[2]-math.Sqrt(0.6)) > 1e-14 {
+		t.Errorf("3-point nodes wrong: %v", n)
+	}
+	if math.Abs(w[1]-8.0/9.0) > 1e-14 || math.Abs(w[0]-5.0/9.0) > 1e-14 {
+		t.Errorf("3-point weights wrong: %v", w)
+	}
+}
+
+func TestGaussLegendreWeightSum(t *testing.T) {
+	for m := 1; m <= 20; m++ {
+		_, w := GaussLegendre(m)
+		var s float64
+		for _, wi := range w {
+			s += wi
+		}
+		if math.Abs(s-2) > 1e-13 {
+			t.Errorf("M=%d: weights sum to %.16f, want 2", m, s)
+		}
+	}
+}
+
+func TestGaussLegendreSymmetry(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		n, w := GaussLegendre(m)
+		for i := range n {
+			j := m - 1 - i
+			if math.Abs(n[i]+n[j]) > 1e-14 {
+				t.Errorf("M=%d: nodes %d/%d not symmetric: %g %g", m, i, j, n[i], n[j])
+			}
+			if math.Abs(w[i]-w[j]) > 1e-14 {
+				t.Errorf("M=%d: weights %d/%d not symmetric: %g %g", m, i, j, w[i], w[j])
+			}
+		}
+	}
+}
+
+// TestGaussLegendrePolynomialExactness checks that the M-point rule
+// integrates monomials up to degree 2M−1 exactly.
+func TestGaussLegendrePolynomialExactness(t *testing.T) {
+	for m := 1; m <= 10; m++ {
+		n, w := GaussLegendre(m)
+		for deg := 0; deg <= 2*m-1; deg++ {
+			var got float64
+			for i := range n {
+				got += w[i] * math.Pow(n[i], float64(deg))
+			}
+			var want float64
+			if deg%2 == 0 {
+				want = 2 / float64(deg+1)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("M=%d deg=%d: got %.15f want %.15f", m, deg, got, want)
+			}
+		}
+	}
+}
+
+// TestGaussLegendreGaussianIntegral checks convergence on the TME integrand
+// class: the rule must approximate ∫_{-1}^{1} e^{-((3-u)/4·x)²} du rapidly
+// in M (paper Fig. 3(b) behaviour).
+func TestGaussLegendreGaussianIntegral(t *testing.T) {
+	f := func(u float64) float64 {
+		a := (3 - u) / 4 * 2.0 // x = 2
+		return math.Exp(-a * a)
+	}
+	// High-resolution reference via 200-point rule.
+	nRef, wRef := GaussLegendre(200)
+	var ref float64
+	for i := range nRef {
+		ref += wRef[i] * f(nRef[i])
+	}
+	prevErr := math.Inf(1)
+	for m := 1; m <= 6; m++ {
+		n, w := GaussLegendre(m)
+		var got float64
+		for i := range n {
+			got += w[i] * f(n[i])
+		}
+		err := math.Abs(got - ref)
+		if err > prevErr*1.5 {
+			t.Errorf("M=%d: error %g did not decrease (prev %g)", m, err, prevErr)
+		}
+		prevErr = err
+	}
+	if prevErr > 1e-8 {
+		t.Errorf("M=6 error too large: %g", prevErr)
+	}
+}

@@ -1,0 +1,175 @@
+// Package spme implements the smooth particle mesh Ewald method (Essmann et
+// al. 1995): B-spline charge assignment, 3D FFT, multiplication by the
+// lattice Green function, inverse FFT, and B-spline back interpolation of
+// energies and forces.
+//
+// SPME serves two roles in this repository: it is the accuracy and
+// performance baseline of Table 1, and — run with α/2^L on the N/2^L grid —
+// it is the top-level convolution of the TME method (the computation the
+// MDGRAPE-4A root FPGA performs; see internal/hw/fpgafft).
+package spme
+
+import (
+	"fmt"
+	"math"
+
+	"tme4a/internal/bspline"
+	"tme4a/internal/ewald"
+	"tme4a/internal/fft"
+	"tme4a/internal/grid"
+	"tme4a/internal/pmesh"
+	"tme4a/internal/topol"
+	"tme4a/internal/units"
+	"tme4a/internal/vec"
+)
+
+// Params configures an SPME solver.
+type Params struct {
+	Alpha float64 // Ewald splitting parameter (nm⁻¹)
+	Rc    float64 // real-space cutoff (nm)
+	Order int     // B-spline interpolation order p (even; the paper uses 6)
+	N     [3]int  // grid dimensions (powers of two)
+}
+
+// AlphaFromRTol returns the splitting parameter α satisfying
+// erfc(α·rc) = rtol, the convention of GROMACS' ewald-rtol input
+// (the paper uses rtol = 1e-4).
+func AlphaFromRTol(rc, rtol float64) float64 {
+	// Bisection on the monotone erfc.
+	lo, hi := 0.0, 100.0/rc
+	for iter := 0; iter < 200; iter++ {
+		mid := 0.5 * (lo + hi)
+		if math.Erfc(mid*rc) > rtol {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// Solver holds the precomputed tables for a fixed box and parameter set.
+type Solver struct {
+	Prm    Params
+	Box    vec.Box
+	Mesher *pmesh.Mesher
+
+	plan  *fft.RealPlan3
+	green []float64 // lattice Green function over the grid, DC term 0
+}
+
+// New precomputes an SPME solver for the box.
+func New(prm Params, box vec.Box) *Solver {
+	if prm.Order%2 != 0 || prm.Order < 2 {
+		panic(fmt.Sprintf("spme: order must be even and >= 2, got %d", prm.Order))
+	}
+	s := &Solver{
+		Prm:    prm,
+		Box:    box,
+		Mesher: pmesh.NewMesher(prm.Order, prm.N, box),
+		plan:   fft.NewRealPlan3(prm.N[0], prm.N[1], prm.N[2]),
+	}
+	s.green = latticeGreen(prm, box)
+	return s
+}
+
+// latticeGreen builds the SPME lattice Green function (Deserno & Holm
+// Eq. 28) including the squared Euler-spline factors |b|² of both the
+// charge-assignment and back-interpolation B-splines:
+//
+//	G̃(m) = (1/πV)·exp(−π²s̃²/α²)/s̃² · |b_x(m_x)|²|b_y(m_y)|²|b_z(m_z)|²
+//
+// with s̃_j the minimum-image frequency m̃_j/L_j. Multiplying Q̂ by G̃ and
+// inverse-transforming yields the grid potential; E = ½ΣQΦ then reproduces
+// the standard SPME reciprocal energy.
+func latticeGreen(prm Params, box vec.Box) []float64 {
+	nx, ny, nz := prm.N[0], prm.N[1], prm.N[2]
+	bx := bspline.EulerFactorsSq(prm.Order, nx)
+	by := bspline.EulerFactorsSq(prm.Order, ny)
+	bz := bspline.EulerFactorsSq(prm.Order, nz)
+	vol := box.Volume()
+	// The ½ΣQΦ energy with a normalised inverse FFT carries 1/N³ relative
+	// to Essmann's (1/2πV)Σ A·B·|Q̂|², so the Green function absorbs N³.
+	ntot := float64(nx * ny * nz)
+	g := make([]float64, nx*ny*nz)
+	for mz := 0; mz < nz; mz++ {
+		sz := freq(mz, nz) / box.L[2]
+		for my := 0; my < ny; my++ {
+			sy := freq(my, ny) / box.L[1]
+			for mx := 0; mx < nx; mx++ {
+				if mx == 0 && my == 0 && mz == 0 {
+					continue // tinfoil boundary: DC mode dropped
+				}
+				sx := freq(mx, nx) / box.L[0]
+				s2 := sx*sx + sy*sy + sz*sz
+				v := math.Exp(-math.Pi*math.Pi*s2/(prm.Alpha*prm.Alpha)) / (math.Pi * vol * s2)
+				// The Coulomb conversion factor is folded into the Green
+				// function so grid potentials are in kJ mol⁻¹ e⁻¹ and
+				// back-interpolated forces need no further scaling.
+				g[mx+nx*(my+ny*mz)] = v * bx[mx] * by[my] * bz[mz] * units.Coulomb * ntot
+			}
+		}
+	}
+	return g
+}
+
+func freq(m, n int) float64 {
+	if m <= n/2 {
+		return float64(m)
+	}
+	return float64(m - n)
+}
+
+// Green returns the precomputed lattice Green function over the grid
+// (read-only; used by the FPGA FFT hardware model to load its coefficient
+// memory).
+func (s *Solver) Green() []float64 { return s.green }
+
+// PotentialGrid applies the reciprocal-space solve to a charge grid:
+// Φ = IFFT(G̃ · FFT(Q)). Both the charges and the Green function are real,
+// so only the non-redundant half spectrum is transformed. The input grid
+// is not modified.
+func (s *Solver) PotentialGrid(q *grid.G) *grid.G {
+	nx, ny, nz := s.Prm.N[0], s.Prm.N[1], s.Prm.N[2]
+	if q.N != s.Prm.N {
+		panic("spme: charge grid shape mismatch")
+	}
+	spec := make([]complex128, s.plan.SpectrumLen())
+	s.plan.Forward(q.Data, spec)
+	hx := s.plan.Hx
+	for kz := 0; kz < nz; kz++ {
+		for ky := 0; ky < ny; ky++ {
+			for kx := 0; kx < hx; kx++ {
+				spec[kx+hx*(ky+ny*kz)] *= complex(s.green[kx+nx*(ky+ny*kz)], 0)
+			}
+		}
+	}
+	phi := grid.New(nx, ny, nz)
+	s.plan.Inverse(spec, phi.Data)
+	return phi
+}
+
+// Recip computes the reciprocal (mesh) part of the SPME energy in kJ/mol,
+// accumulating forces into f (may be nil). It spreads charges, solves on
+// the mesh, and back-interpolates.
+func (s *Solver) Recip(pos []vec.V, q []float64, f []vec.V) float64 {
+	qg := s.Mesher.Assign(pos, q)
+	phi := s.PotentialGrid(qg)
+	return s.Mesher.Interpolate(phi, pos, q, f)
+}
+
+// Coulomb computes the full SPME Coulomb energy — real space + reciprocal +
+// self + exclusion corrections — accumulating forces into f (may be nil).
+func (s *Solver) Coulomb(pos []vec.V, q []float64, excl *topol.Exclusions, f []vec.V) float64 {
+	e := ewald.RealSpace(s.Box, pos, q, s.Prm.Alpha, s.Prm.Rc, excl, f)
+	e += s.Recip(pos, q, f)
+	e += ewald.SelfEnergy(q, s.Prm.Alpha)
+	e += ewald.ExclusionCorrection(s.Box, pos, q, s.Prm.Alpha, excl, f)
+	return e
+}
+
+// LongRange computes only the mesh part plus self energy (the portion the
+// MDGRAPE-4A long-range units would handle), accumulating forces into f.
+func (s *Solver) LongRange(pos []vec.V, q []float64, f []vec.V) float64 {
+	return s.Recip(pos, q, f) + ewald.SelfEnergy(q, s.Prm.Alpha)
+}

@@ -1,0 +1,49 @@
+// Package units defines the unit system and physical constants used
+// throughout the library.
+//
+// The unit system follows common molecular-dynamics conventions (the same as
+// GROMACS): length in nanometres, time in picoseconds, mass in atomic mass
+// units, charge in elementary charges, energy in kJ/mol and temperature in
+// kelvin. With these units, force comes out in kJ mol⁻¹ nm⁻¹ and velocity in
+// nm ps⁻¹.
+package units
+
+// Physical constants in the nm/ps/amu/e/kJ·mol⁻¹ unit system.
+const (
+	// Coulomb is the electric conversion factor f = 1/(4πε₀) expressed in
+	// kJ mol⁻¹ nm e⁻², so that the Coulomb energy of two unit charges at
+	// 1 nm separation is Coulomb kJ/mol.
+	Coulomb = 138.935458
+
+	// Boltzmann is k_B in kJ mol⁻¹ K⁻¹.
+	Boltzmann = 8.314462618e-3
+
+	// MassO and MassH are atomic masses in amu.
+	MassO = 15.99943
+	MassH = 1.007947
+)
+
+// TIP3P water-model parameters (Jorgensen et al. 1983).
+const (
+	// TIP3PQO and TIP3PQH are the partial charges of oxygen and hydrogen
+	// in elementary charges.
+	TIP3PQO = -0.834
+	TIP3PQH = +0.417
+
+	// TIP3PSigma and TIP3PEpsilon are the Lennard-Jones parameters of the
+	// oxygen site (σ in nm, ε in kJ/mol). Hydrogens carry no LJ site.
+	TIP3PSigma   = 0.315061
+	TIP3PEpsilon = 0.6364
+
+	// TIP3PROH is the rigid O–H bond length in nm and TIP3PAngleHOH the
+	// H–O–H angle in radians (104.52°).
+	TIP3PROH      = 0.09572
+	TIP3PAngleHOH = 104.52 * DegToRad
+
+	// TIP3PDensity is the molecular number density of liquid water at
+	// ambient conditions in molecules nm⁻³.
+	TIP3PDensity = 33.3679
+)
+
+// DegToRad converts degrees to radians when multiplied.
+const DegToRad = 3.14159265358979323846 / 180.0
