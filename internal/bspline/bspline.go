@@ -57,7 +57,7 @@ func cardinal(p int, t float64) float64 {
 func Weights(p int, u float64, w, dw []float64) (m0 int) {
 	fl := math.Floor(u)
 	frac := u - fl
-	m0 = int(fl) - p/2 + 1
+	m0 = Base(p, u)
 
 	// v[j] holds B_k(frac + j) for the current order k.
 	var vbuf [16]float64
@@ -107,6 +107,15 @@ func Weights(p int, u float64, w, dw []float64) (m0 int) {
 		w[k] = v2[p-1-k]
 	}
 	return m0
+}
+
+// Base returns the lowest grid index with nonzero order-p spreading weight
+// for a particle at normalised coordinate u — the m0 that Weights returns,
+// without computing the weights. Spatially-decomposed scatter loops
+// (pmesh.AssignTo) use it to reject particles whose support misses a
+// worker's slab before paying for the full weight recurrence.
+func Base(p int, u float64) int {
+	return int(math.Floor(u)) - p/2 + 1
 }
 
 // TwoScale returns the two-scale relation coefficients J_m of the order-p

@@ -43,6 +43,14 @@ func Build(box vec.Box, cutoff float64, pos []vec.V) *List {
 		if l.nc[j] < 1 {
 			l.nc[j] = 1
 		}
+		// The division can round up past an integer (L/cutoff returned as
+		// exactly k although L < k·cutoff), which would make cells
+		// fractionally narrower than the cutoff and silently drop pairs at
+		// r ≈ r_c outside the 3×3×3 stencil. Clamp until the invariant
+		// L/nc ≥ cutoff holds in floating point.
+		for l.nc[j] > 1 && box.L[j]/float64(l.nc[j]) < cutoff {
+			l.nc[j]--
+		}
 	}
 	if l.nc[0] < 3 || l.nc[1] < 3 || l.nc[2] < 3 {
 		l.direct = true

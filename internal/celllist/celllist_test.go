@@ -139,3 +139,49 @@ func TestStencilCoverage(t *testing.T) {
 	}
 	sort.Slice(keys, func(a, b int) bool { return fmt.Sprint(keys[a]) < fmt.Sprint(keys[b]) })
 }
+
+// TestCellWidthNeverBelowCutoff is the regression test for the nc rounding
+// bug: with L = fl(5·cutoff) rounded down, the true ratio L/cutoff is just
+// below 5 but the floating-point division returns exactly 5, so the old
+// nc = int(L/cutoff) produced cells fractionally narrower than the cutoff
+// and the 3×3×3 stencil could silently drop pairs at r ≈ r_c. Build must
+// clamp nc so that L/nc ≥ cutoff holds in floating point.
+func TestCellWidthNeverBelowCutoff(t *testing.T) {
+	// Engineered rounding edge (see above): L < 5·cutoff exactly, yet
+	// int(L/cutoff) == 5. Declared as variables so the division is IEEE
+	// float64 (untyped constant arithmetic in Go is exact).
+	cutoff := 0.90000000800000002
+	L := 4.5000000399999998
+	if int(L/cutoff) != 5 || L/5 >= cutoff {
+		t.Fatalf("test box no longer hits the rounding edge: int(L/c)=%d, L/5-c=%g",
+			int(L/cutoff), L/5-cutoff)
+	}
+	box := vec.NewBox(L, L, L)
+	rng := rand.New(rand.NewSource(7))
+	pos := randomPositions(rng, 200, box)
+	cl := Build(box, cutoff, pos)
+	nc := cl.NCells()
+	for j := 0; j < 3; j++ {
+		if w := box.L[j] / float64(nc[j]); w < cutoff {
+			t.Errorf("axis %d: cell width %.17g below cutoff %.17g (nc=%d)", j, w, cutoff, nc[j])
+		}
+	}
+	if nc[0] != 4 {
+		t.Errorf("nc = %d, want clamp to 4", nc[0])
+	}
+	// With the invariant restored the stencil enumeration must agree with
+	// brute force exactly.
+	want := brutePairs(box, pos, cutoff)
+	got := map[string]bool{}
+	cl.ForEachPair(pos, func(i, j int, d vec.V, r2 float64) {
+		got[key(i, j)] = true
+	})
+	if len(got) != len(want) {
+		t.Errorf("pair count mismatch: got %d want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing pair %s", k)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"tme4a/internal/bspline"
 	"tme4a/internal/ewald"
@@ -51,6 +52,17 @@ type Solver struct {
 	j    []float64      // two-scale coefficients
 	kern [][3][]float64 // kern[ν][axis]: 1D kernels K^{ν,j}, length 2·Gc+1
 	top  *spme.Solver   // top-level SPME (α/2^L on N/2^L)
+
+	// kernZ[l-1][ν] is kern[ν][2] with the level-l prefactor
+	// Coulomb/2^{l-1} folded in, so levelConvAccum needs no post-scaling
+	// pass over the grid.
+	kernZ [][][]float64
+
+	pool *grid.Pool // recycled level grids and convolution scratch
+
+	// mu guards the reused per-level grid table of the mesh pipeline.
+	mu      sync.Mutex
+	charges []*grid.G
 }
 
 // New validates parameters and precomputes all kernels.
@@ -94,6 +106,22 @@ func New(prm Params, box vec.Box) *Solver {
 			s.kern[v][axis] = k
 		}
 	}
+	// Per-level z-kernels with the 1/2^{l-1} prefactor and the Coulomb
+	// conversion folded in (see levelConvAccum).
+	s.kernZ = make([][][]float64, prm.Levels)
+	for l := 1; l <= prm.Levels; l++ {
+		scale := units.Coulomb / math.Pow(2, float64(l-1))
+		s.kernZ[l-1] = make([][]float64, prm.M)
+		for v := 0; v < prm.M; v++ {
+			kz := make([]float64, len(s.kern[v][2]))
+			for i, k := range s.kern[v][2] {
+				kz[i] = k * scale
+			}
+			s.kernZ[l-1][v] = kz
+		}
+	}
+	s.pool = grid.NewPool()
+	s.charges = make([]*grid.G, prm.Levels+2)
 	// Top level: SPME with α/2^L on the restricted grid.
 	s.top = spme.New(spme.Params{
 		Alpha: prm.Alpha / math.Pow(2, float64(prm.Levels)),
@@ -114,23 +142,15 @@ func (s *Solver) Kernels() [][3][]float64 { return s.kern }
 // TwoScale returns the restriction/prolongation coefficients (read-only).
 func (s *Solver) TwoScale() []float64 { return s.j }
 
-// levelConv applies the separable middle-range convolution of level l
-// (1-based) to the level-l charge grid, returning the level-l potential
-// contribution in kJ mol⁻¹ e⁻¹ (paper Eq. (9)–(11) with the 1/2^{l−1}
-// prefactor and Coulomb conversion folded in).
-func (s *Solver) levelConv(q *grid.G, l int) *grid.G {
-	scale := units.Coulomb / math.Pow(2, float64(l-1))
-	var phi *grid.G
+// levelConvAccum accumulates the separable middle-range convolution of
+// level l (1-based) of the level-l charge grid q into dst, in
+// kJ mol⁻¹ e⁻¹ (paper Eq. (9)–(11)): dst += Σ_ν K^{ν,x}∗K^{ν,y}∗K̃^{ν,z}∗q,
+// where K̃^{ν,z} carries the 1/2^{l−1} prefactor and Coulomb conversion.
+// t1 and t2 are convolution scratch of the same shape as q.
+func (s *Solver) levelConvAccum(dst, q *grid.G, l int, t1, t2 *grid.G) {
 	for v := 0; v < s.Prm.M; v++ {
-		c := grid.ConvSeparable(q, s.kern[v][0], s.kern[v][1], s.kern[v][2])
-		if phi == nil {
-			phi = c
-		} else {
-			phi.AddGrid(c)
-		}
+		grid.ConvSeparableAccum(dst, q, s.kern[v][0], s.kern[v][1], s.kernZ[l-1][v], t1, t2)
 	}
-	phi.Scale(scale)
-	return phi
 }
 
 // MeshPotential runs the full grid pipeline — charge assignment,
@@ -139,25 +159,53 @@ func (s *Solver) levelConv(q *grid.G, l int) *grid.G {
 // It is exposed separately so the hardware simulator can compare its
 // fixed-point datapath against this double-precision reference stage by
 // stage.
+//
+// The returned grid is drawn from the solver's internal pool and is owned
+// by the caller; LongRange recycles it, external callers may simply let it
+// be garbage collected.
 func (s *Solver) MeshPotential(pos []vec.V, q []float64) *grid.G {
-	qg := s.Mesher.Assign(pos, q)
-	return s.meshPotentialFromCharges(qg)
+	qg := s.pool.Get(s.Prm.N)
+	qg.Zero()
+	s.Mesher.AssignTo(qg, pos, q)
+	phi := s.meshPotentialFromCharges(qg)
+	s.pool.Put(qg)
+	return phi
 }
 
 func (s *Solver) meshPotentialFromCharges(qg *grid.G) *grid.G {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	L := s.Prm.Levels
-	// Downward pass: restrict charges level by level.
-	charges := make([]*grid.G, L+2) // 1-based levels; [L+1] is the top grid
+	// Downward pass: restrict charges level by level. charges is 1-based;
+	// [L+1] is the top grid. Entry 1 aliases the caller's grid and is
+	// never recycled.
+	charges := s.charges
 	charges[1] = qg
 	for l := 1; l <= L; l++ {
-		charges[l+1] = grid.Restrict(charges[l], s.j)
+		n := charges[l].N
+		charges[l+1] = s.pool.Get([3]int{n[0] / 2, n[1] / 2, n[2] / 2})
+		grid.RestrictInto(charges[l+1], charges[l], s.j, s.pool)
 	}
 	// Top-level SPME convolution (the TMENW/root-FPGA computation).
-	phi := s.top.PotentialGrid(charges[L+1])
-	// Upward pass: prolong and add each level's separable convolution.
+	phi := s.pool.Get(charges[L+1].N)
+	s.top.PotentialGridInto(phi, charges[L+1])
+	s.pool.Put(charges[L+1])
+	charges[L+1] = nil
+	// Upward pass: prolong and accumulate each level's separable
+	// convolution, recycling every intermediate grid.
 	for l := L; l >= 1; l-- {
-		up := grid.Prolong(phi, s.j)
-		up.AddGrid(s.levelConv(charges[l], l))
+		up := s.pool.Get(charges[l].N)
+		grid.ProlongInto(up, phi, s.j, s.pool)
+		s.pool.Put(phi)
+		t1 := s.pool.Get(charges[l].N)
+		t2 := s.pool.Get(charges[l].N)
+		s.levelConvAccum(up, charges[l], l, t1, t2)
+		s.pool.Put(t1)
+		s.pool.Put(t2)
+		if l > 1 {
+			s.pool.Put(charges[l])
+		}
+		charges[l] = nil
 		phi = up
 	}
 	return phi
@@ -168,6 +216,7 @@ func (s *Solver) meshPotentialFromCharges(qg *grid.G) *grid.G {
 func (s *Solver) LongRange(pos []vec.V, q []float64, f []vec.V) float64 {
 	phi := s.MeshPotential(pos, q)
 	e := s.Mesher.Interpolate(phi, pos, q, f)
+	s.pool.Put(phi)
 	return e + ewald.SelfEnergy(q, s.Prm.Alpha)
 }
 

@@ -3,7 +3,35 @@ package fft
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync"
+
+	"tme4a/internal/par"
 )
+
+// cbufPool recycles per-worker complex scratch rows so the 3D passes
+// allocate nothing in steady state.
+var cbufPool = sync.Pool{New: func() interface{} { return new([]complex128) }}
+
+func getCBuf(n int) *[]complex128 {
+	p := cbufPool.Get().(*[]complex128)
+	if cap(*p) < n {
+		*p = make([]complex128, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// rowGrain keeps each parallel chunk of 1D transforms at a useful size:
+// roughly 4096 butterfly operations per chunk.
+func rowGrain(n int) int {
+	work := n * (bits.Len(uint(n)) + 1)
+	g := 4096 / (work + 1)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // RealPlan transforms N real samples using an N/2-point complex FFT (the
 // classic packing trick), producing the non-redundant half spectrum
@@ -121,41 +149,91 @@ func (p *RealPlan3) Forward(data []float64, spec []complex128) {
 	if len(data) != nx*ny*nz || len(spec) != p.SpectrumLen() {
 		panic("fft: RealPlan3 Forward size mismatch")
 	}
-	scratch := make([]complex128, nx/2)
-	row := make([]complex128, max(ny, nz))
-	// x-pass: r2c per row.
-	for z := 0; z < nz; z++ {
-		for y := 0; y < ny; y++ {
-			src := data[nx*(y+ny*z) : nx*(y+ny*z)+nx]
-			dst := spec[hx*(y+ny*z) : hx*(y+ny*z)+hx]
-			p.px.Forward(src, dst, scratch)
-		}
+	// Every 1D line is transformed independently with per-worker scratch,
+	// so the passes parallelize with bitwise-deterministic results. Each
+	// pass branches before building its closure so the single-worker path
+	// stays allocation-free.
+	if par.WorkersGrain(nz*ny, rowGrain(nx)) == 1 {
+		p.xPass(data, spec, false, 0, nz*ny)
+	} else {
+		par.ForRangeGrain(nz*ny, rowGrain(nx), func(lo, hi int) { p.xPass(data, spec, false, lo, hi) })
 	}
 	// y-pass (stride hx) and z-pass (stride hx·ny) on the half spectrum.
-	for z := 0; z < nz; z++ {
-		for x := 0; x < hx; x++ {
-			base := x + hx*ny*z
-			for y := 0; y < ny; y++ {
-				row[y] = spec[base+hx*y]
-			}
+	if par.WorkersGrain(nz*hx, rowGrain(ny)) == 1 {
+		p.yPass(spec, false, 0, nz*hx)
+	} else {
+		par.ForRangeGrain(nz*hx, rowGrain(ny), func(lo, hi int) { p.yPass(spec, false, lo, hi) })
+	}
+	if par.WorkersGrain(ny*hx, rowGrain(nz)) == 1 {
+		p.zPass(spec, false, 0, ny*hx)
+	} else {
+		par.ForRangeGrain(ny*hx, rowGrain(nz), func(lo, hi int) { p.zPass(spec, false, lo, hi) })
+	}
+}
+
+// xPass runs the r2c (forward) or c2r (inverse) x-transform on rows
+// [lo, hi) with pooled scratch.
+func (p *RealPlan3) xPass(data []float64, spec []complex128, inverse bool, lo, hi int) {
+	nx, hx := p.Nx, p.Hx
+	sp := getCBuf(nx / 2)
+	for r := lo; r < hi; r++ {
+		re := data[nx*r : nx*r+nx]
+		cx := spec[hx*r : hx*r+hx]
+		if inverse {
+			p.px.Inverse(cx, re, *sp)
+		} else {
+			p.px.Forward(re, cx, *sp)
+		}
+	}
+	cbufPool.Put(sp)
+}
+
+// yPass transforms the y-lines (stride hx) indexed by columns [lo, hi)
+// over (x, z).
+func (p *RealPlan3) yPass(spec []complex128, inverse bool, lo, hi int) {
+	ny, hx := p.Ny, p.Hx
+	rp := getCBuf(ny)
+	row := *rp
+	for c := lo; c < hi; c++ {
+		x, z := c%hx, c/hx
+		base := x + hx*ny*z
+		for y := 0; y < ny; y++ {
+			row[y] = spec[base+hx*y]
+		}
+		if inverse {
+			p.py.Inverse(row[:ny])
+		} else {
 			p.py.Forward(row[:ny])
-			for y := 0; y < ny; y++ {
-				spec[base+hx*y] = row[y]
-			}
+		}
+		for y := 0; y < ny; y++ {
+			spec[base+hx*y] = row[y]
 		}
 	}
-	for y := 0; y < ny; y++ {
-		for x := 0; x < hx; x++ {
-			base := x + hx*y
-			for z := 0; z < nz; z++ {
-				row[z] = spec[base+hx*ny*z]
-			}
+	cbufPool.Put(rp)
+}
+
+// zPass transforms the z-lines (stride hx·ny) indexed by columns [lo, hi)
+// over (x, y).
+func (p *RealPlan3) zPass(spec []complex128, inverse bool, lo, hi int) {
+	ny, nz, hx := p.Ny, p.Nz, p.Hx
+	rp := getCBuf(nz)
+	row := *rp
+	for c := lo; c < hi; c++ {
+		x, y := c%hx, c/hx
+		base := x + hx*y
+		for z := 0; z < nz; z++ {
+			row[z] = spec[base+hx*ny*z]
+		}
+		if inverse {
+			p.pz.Inverse(row[:nz])
+		} else {
 			p.pz.Forward(row[:nz])
-			for z := 0; z < nz; z++ {
-				spec[base+hx*ny*z] = row[z]
-			}
+		}
+		for z := 0; z < nz; z++ {
+			spec[base+hx*ny*z] = row[z]
 		}
 	}
+	cbufPool.Put(rp)
 }
 
 // Inverse reconstructs real data from the half spectrum (normalized).
@@ -165,37 +243,19 @@ func (p *RealPlan3) Inverse(spec []complex128, data []float64) {
 	if len(data) != nx*ny*nz || len(spec) != p.SpectrumLen() {
 		panic("fft: RealPlan3 Inverse size mismatch")
 	}
-	row := make([]complex128, max(ny, nz))
-	for y := 0; y < ny; y++ {
-		for x := 0; x < hx; x++ {
-			base := x + hx*y
-			for z := 0; z < nz; z++ {
-				row[z] = spec[base+hx*ny*z]
-			}
-			p.pz.Inverse(row[:nz])
-			for z := 0; z < nz; z++ {
-				spec[base+hx*ny*z] = row[z]
-			}
-		}
+	if par.WorkersGrain(ny*hx, rowGrain(nz)) == 1 {
+		p.zPass(spec, true, 0, ny*hx)
+	} else {
+		par.ForRangeGrain(ny*hx, rowGrain(nz), func(lo, hi int) { p.zPass(spec, true, lo, hi) })
 	}
-	for z := 0; z < nz; z++ {
-		for x := 0; x < hx; x++ {
-			base := x + hx*ny*z
-			for y := 0; y < ny; y++ {
-				row[y] = spec[base+hx*y]
-			}
-			p.py.Inverse(row[:ny])
-			for y := 0; y < ny; y++ {
-				spec[base+hx*y] = row[y]
-			}
-		}
+	if par.WorkersGrain(nz*hx, rowGrain(ny)) == 1 {
+		p.yPass(spec, true, 0, nz*hx)
+	} else {
+		par.ForRangeGrain(nz*hx, rowGrain(ny), func(lo, hi int) { p.yPass(spec, true, lo, hi) })
 	}
-	scratch := make([]complex128, nx/2)
-	for z := 0; z < nz; z++ {
-		for y := 0; y < ny; y++ {
-			src := spec[hx*(y+ny*z) : hx*(y+ny*z)+hx]
-			dst := data[nx*(y+ny*z) : nx*(y+ny*z)+nx]
-			p.px.Inverse(src, dst, scratch)
-		}
+	if par.WorkersGrain(nz*ny, rowGrain(nx)) == 1 {
+		p.xPass(data, spec, true, 0, nz*ny)
+	} else {
+		par.ForRangeGrain(nz*ny, rowGrain(nx), func(lo, hi int) { p.xPass(data, spec, true, lo, hi) })
 	}
 }

@@ -5,9 +5,19 @@
 //
 // Data is stored in a flat slice, x-fastest: index = ix + Nx·(iy + Ny·iz),
 // matching the layout of internal/fft.Plan3.
+//
+// The grid-to-grid operators are parallelized over independent 1D lines
+// with par.ForRangeGrain. Every line's arithmetic is identical to the
+// serial loop (same taps, same summation order), so results are bitwise
+// independent of GOMAXPROCS.
 package grid
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"tme4a/internal/par"
+)
 
 // G is a periodic 3D scalar grid.
 type G struct {
@@ -91,14 +101,69 @@ func wrap(i, n int) int {
 	return i
 }
 
+// Pool recycles grids by shape so steady-state mesh pipelines allocate
+// nothing. Get returns a grid with undefined contents (callers that
+// accumulate must Zero it); Put hands a grid back for reuse. A grid
+// obtained from Get is exclusively owned until Put, so a Pool may be shared
+// by concurrent pipelines.
+type Pool struct {
+	mu   sync.Mutex
+	free map[[3]int][]*G
+}
+
+// NewPool returns an empty grid pool.
+func NewPool() *Pool { return &Pool{free: map[[3]int][]*G{}} }
+
+// Get returns an nx×ny×nz grid with undefined contents.
+func (p *Pool) Get(n [3]int) *G {
+	p.mu.Lock()
+	if s := p.free[n]; len(s) > 0 {
+		g := s[len(s)-1]
+		p.free[n] = s[:len(s)-1]
+		p.mu.Unlock()
+		return g
+	}
+	p.mu.Unlock()
+	return New(n[0], n[1], n[2])
+}
+
+// Put returns a grid to the pool. The caller must not use g afterwards.
+func (p *Pool) Put(g *G) {
+	if g == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free[g.N] = append(p.free[g.N], g)
+	p.mu.Unlock()
+}
+
 // axisLoop describes iteration over all 1D lines along one axis: n is the
 // line length, stride the flat-index step along the axis, and bases the flat
-// index of the first element of every line.
+// index of the first element of every line. The bases slices are immutable
+// once built and cached per (shape, axis), since every convolution,
+// restriction and prolongation of a fixed-size MD run re-walks the same
+// lines each step.
 func axisLoop(n3 [3]int, axis int) (n, stride int, bases []int) {
+	type key struct {
+		n    [3]int
+		axis int
+	}
+	switch axis {
+	case 0:
+		n, stride = n3[0], 1
+	case 1:
+		n, stride = n3[1], n3[0]
+	case 2:
+		n, stride = n3[2], n3[0]*n3[1]
+	default:
+		panic("grid: invalid axis")
+	}
+	if v, ok := axisCache.Load(key{n3, axis}); ok {
+		return n, stride, v.([]int)
+	}
 	nx, ny, nz := n3[0], n3[1], n3[2]
 	switch axis {
 	case 0:
-		n, stride = nx, 1
 		bases = make([]int, 0, ny*nz)
 		for z := 0; z < nz; z++ {
 			for y := 0; y < ny; y++ {
@@ -106,7 +171,6 @@ func axisLoop(n3 [3]int, axis int) (n, stride int, bases []int) {
 			}
 		}
 	case 1:
-		n, stride = ny, nx
 		bases = make([]int, 0, nx*nz)
 		for z := 0; z < nz; z++ {
 			for x := 0; x < nx; x++ {
@@ -114,17 +178,42 @@ func axisLoop(n3 [3]int, axis int) (n, stride int, bases []int) {
 			}
 		}
 	case 2:
-		n, stride = nz, nx*ny
 		bases = make([]int, 0, nx*ny)
 		for y := 0; y < ny; y++ {
 			for x := 0; x < nx; x++ {
 				bases = append(bases, x+nx*y)
 			}
 		}
-	default:
-		panic("grid: invalid axis")
 	}
+	axisCache.Store(key{n3, axis}, bases)
 	return n, stride, bases
+}
+
+var axisCache sync.Map
+
+// linePool recycles per-worker padded-line scratch buffers. The *[]float64
+// indirection keeps Get/Put allocation-free in steady state.
+var linePool = sync.Pool{New: func() interface{} { return new([]float64) }}
+
+func getLine(n int) *[]float64 {
+	p := linePool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// lineGrain returns the per-chunk line count that keeps each parallel chunk
+// at a few thousand flops, so short lines on small grids do not drown in
+// goroutine overhead.
+func lineGrain(flopsPerLine int) int {
+	const targetFlops = 8192
+	g := targetFlops / (flopsPerLine + 1)
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // ConvAxis computes the periodic, range-limited 1D convolution of src with
@@ -132,39 +221,88 @@ func axisLoop(n3 [3]int, axis int) (n, stride int, bases []int) {
 // dst: dst[n] = Σ_{|m| ≤ gc} kernel[m+gc]·src[n−m]. kernel must have odd
 // length 2·gc+1. dst must not alias src and must have the same shape.
 func ConvAxis(dst, src *G, axis int, kernel []float64) {
+	convAxis(dst, src, axis, kernel, false)
+}
+
+func convAxis(dst, src *G, axis int, kernel []float64, accum bool) {
 	if dst.N != src.N {
 		panic("grid: ConvAxis shape mismatch")
 	}
 	if len(kernel)%2 == 0 {
 		panic("grid: ConvAxis kernel length must be odd")
 	}
-	gc := len(kernel) / 2
 	n, stride, bases := axisLoop(src.N, axis)
-	line := make([]float64, n)
-	for _, base := range bases {
-		for i := 0; i < n; i++ {
-			line[i] = src.Data[base+i*stride]
+	grain := lineGrain(n * len(kernel))
+	// Serial fast path with a direct call: no closure, so a GOMAXPROCS=1
+	// steady state allocates nothing.
+	if par.WorkersGrain(len(bases), grain) == 1 {
+		convLines(dst, src, kernel, n, stride, bases, 0, len(bases), accum)
+		return
+	}
+	par.ForRangeGrain(len(bases), grain, func(lo, hi int) {
+		convLines(dst, src, kernel, n, stride, bases, lo, hi, accum)
+	})
+}
+
+// convLines is the per-worker kernel of convAxis over lines [lo, hi).
+func convLines(dst, src *G, kernel []float64, n, stride int, bases []int, lo, hi int, accum bool) {
+	gc := len(kernel) / 2
+	// Per-worker scratch: the line padded with gc wrapped ghost cells on
+	// each side, so the tap loop needs no modulo.
+	lp := getLine(n + 2*gc)
+	pad := *lp
+	for li := lo; li < hi; li++ {
+		base := bases[li]
+		for k := range pad {
+			pad[k] = src.Data[base+wrap(k-gc, n)*stride]
 		}
 		for i := 0; i < n; i++ {
 			var s float64
-			for m := -gc; m <= gc; m++ {
-				s += kernel[m+gc] * line[wrap(i-m, n)]
+			// pad[i-m+gc] == src line at wrap(i-m, n); ascending kernel
+			// index keeps the serial summation order.
+			row := pad[i : i+2*gc+1]
+			for t := 0; t < 2*gc+1; t++ {
+				s += kernel[t] * row[2*gc-t]
 			}
-			dst.Data[base+i*stride] = s
+			if accum {
+				dst.Data[base+i*stride] += s
+			} else {
+				dst.Data[base+i*stride] = s
+			}
 		}
 	}
+	linePool.Put(lp)
 }
 
 // ConvSeparable computes the separable 3D convolution kz∗(ky∗(kx∗src)) and
 // returns a new grid. This is the tensor-structured convolution at the heart
-// of the TME method (paper Eq. (10)).
+// of the TME method (paper Eq. (10)). Steady-state callers should prefer
+// ConvSeparableInto/ConvSeparableAccum, which allocate nothing.
 func ConvSeparable(src *G, kx, ky, kz []float64) *G {
-	tmp1 := New(src.N[0], src.N[1], src.N[2])
-	tmp2 := New(src.N[0], src.N[1], src.N[2])
-	ConvAxis(tmp1, src, 0, kx)
-	ConvAxis(tmp2, tmp1, 1, ky)
-	ConvAxis(tmp1, tmp2, 2, kz)
-	return tmp1
+	dst := New(src.N[0], src.N[1], src.N[2])
+	tmp := New(src.N[0], src.N[1], src.N[2])
+	ConvSeparableInto(dst, src, kx, ky, kz, tmp)
+	return dst
+}
+
+// ConvSeparableInto computes the separable convolution into dst using tmp
+// as scratch. dst, src and tmp must have equal shapes and must not alias
+// each other.
+func ConvSeparableInto(dst, src *G, kx, ky, kz []float64, tmp *G) {
+	convAxis(dst, src, 0, kx, false)
+	convAxis(tmp, dst, 1, ky, false)
+	convAxis(dst, tmp, 2, kz, false)
+}
+
+// ConvSeparableAccum accumulates the separable convolution into dst
+// (dst += kz∗ky∗kx∗src) using the scratch pair t1, t2. All four grids must
+// have equal shapes; dst, t1 and t2 must be pairwise distinct and distinct
+// from src. This is the fused form core.Solver uses to sum the M Gaussian
+// terms of a TME level into one output grid with zero allocations.
+func ConvSeparableAccum(dst, src *G, kx, ky, kz []float64, t1, t2 *G) {
+	convAxis(t1, src, 0, kx, false)
+	convAxis(t2, t1, 1, ky, false)
+	convAxis(dst, t2, 2, kz, true)
 }
 
 // ConvDirect3D computes the periodic, range-limited direct 3D convolution
@@ -179,8 +317,19 @@ func ConvDirect3D(src *G, kernel []float64, gc int) *G {
 	}
 	dst := New(src.N[0], src.N[1], src.N[2])
 	nx, ny, nz := src.N[0], src.N[1], src.N[2]
-	for iz := 0; iz < nz; iz++ {
-		for iy := 0; iy < ny; iy++ {
+	// Wrapped-index lookup table replaces the per-tap modulo: the inner
+	// loop reads srow[wx[ix-mx+gc]].
+	wx := make([]int, nx+2*gc)
+	for i := range wx {
+		wx[i] = wrap(i-gc, nx)
+	}
+	// Each output x-line (iy, iz) is independent: gather-only, so any
+	// partition over lines is bitwise deterministic.
+	par.ForRangeGrain(ny*nz, lineGrain(nx*k*k*k), func(lo, hi int) {
+		for line := lo; line < hi; line++ {
+			iy := line % ny
+			iz := line / ny
+			out := dst.Data[nx*(iy+ny*iz) : nx*(iy+ny*iz)+nx]
 			for ix := 0; ix < nx; ix++ {
 				var s float64
 				for mz := -gc; mz <= gc; mz++ {
@@ -190,14 +339,14 @@ func ConvDirect3D(src *G, kernel []float64, gc int) *G {
 						krow := k * ((my + gc) + k*(mz+gc))
 						srow := src.Data[nx*(jy+ny*jz) : nx*(jy+ny*jz)+nx]
 						for mx := -gc; mx <= gc; mx++ {
-							s += kernel[(mx+gc)+krow] * srow[wrap(ix-mx, nx)]
+							s += kernel[(mx+gc)+krow] * srow[wx[ix-mx+gc]]
 						}
 					}
 				}
-				dst.Data[dst.Idx(ix, iy, iz)] = s
+				out[ix] = s
 			}
 		}
-	}
+	})
 	return dst
 }
 
@@ -207,33 +356,74 @@ func ConvDirect3D(src *G, kernel []float64, gc int) *G {
 func Restrict(src *G, J []float64) *G {
 	cur := src
 	for axis := 0; axis < 3; axis++ {
-		cur = restrictAxis(cur, axis, J)
+		dn := cur.N
+		dn[axis] /= 2
+		dst := New(dn[0], dn[1], dn[2])
+		restrictAxisInto(dst, cur, axis, J)
+		cur = dst
 	}
 	return cur
 }
 
-func restrictAxis(src *G, axis int, J []float64) *G {
+// RestrictInto computes the three-axis restriction into dst (shape src.N/2),
+// drawing the two intermediate grids from pool.
+func RestrictInto(dst, src *G, J []float64, pool *Pool) {
+	n := src.N
+	t1 := pool.Get([3]int{n[0] / 2, n[1], n[2]})
+	restrictAxisInto(t1, src, 0, J)
+	t2 := pool.Get([3]int{n[0] / 2, n[1] / 2, n[2]})
+	restrictAxisInto(t2, t1, 1, J)
+	pool.Put(t1)
+	restrictAxisInto(dst, t2, 2, J)
+	pool.Put(t2)
+}
+
+func restrictAxisInto(dst, src *G, axis int, J []float64) {
 	half := len(J) / 2
 	n := src.N[axis]
 	if n%2 != 0 {
 		panic("grid: Restrict needs even dimensions")
 	}
-	dn := src.N
-	dn[axis] = n / 2
-	dst := New(dn[0], dn[1], dn[2])
+	want := src.N
+	want[axis] = n / 2
+	if dst.N != want {
+		panic("grid: Restrict destination shape mismatch")
+	}
 	_, sStride, sBases := axisLoop(src.N, axis)
 	_, dStride, dBases := axisLoop(dst.N, axis)
-	for li := range sBases {
+	grain := lineGrain(n / 2 * (2*half + 1))
+	if par.WorkersGrain(len(sBases), grain) == 1 {
+		restrictLines(dst, src, J, n, sStride, dStride, sBases, dBases, 0, len(sBases))
+		return
+	}
+	par.ForRangeGrain(len(sBases), grain, func(lo, hi int) {
+		restrictLines(dst, src, J, n, sStride, dStride, sBases, dBases, lo, hi)
+	})
+}
+
+// restrictLines is the per-worker kernel of restrictAxisInto.
+func restrictLines(dst, src *G, J []float64, n, sStride, dStride int, sBases, dBases []int, lo, hi int) {
+	half := len(J) / 2
+	nj := 2*half + 1
+	// Padded source line: pad[k] = src line at wrap(k-half, n).
+	lp := getLine(n + 2*half)
+	pad := *lp
+	for li := lo; li < hi; li++ {
 		sb, db := sBases[li], dBases[li]
+		for k := range pad {
+			pad[k] = src.Data[sb+wrap(k-half, n)*sStride]
+		}
 		for i := 0; i < n/2; i++ {
 			var s float64
-			for m := -half; m <= half; m++ {
-				s += J[m+half] * src.Data[sb+wrap(2*i+m, n)*sStride]
+			// pad[2i+m+half]; m ascending matches the serial order.
+			row := pad[2*i : 2*i+nj]
+			for m := 0; m < nj; m++ {
+				s += J[m] * row[m]
 			}
 			dst.Data[db+i*dStride] = s
 		}
 	}
-	return dst
+	linePool.Put(lp)
 }
 
 // Prolong applies the two-scale prolongation along all three axes:
@@ -242,21 +432,59 @@ func restrictAxis(src *G, axis int, J []float64) *G {
 func Prolong(src *G, J []float64) *G {
 	cur := src
 	for axis := 0; axis < 3; axis++ {
-		cur = prolongAxis(cur, axis, J)
+		dn := cur.N
+		dn[axis] *= 2
+		dst := New(dn[0], dn[1], dn[2])
+		prolongAxisInto(dst, cur, axis, J)
+		cur = dst
 	}
 	return cur
 }
 
-func prolongAxis(src *G, axis int, J []float64) *G {
+// ProlongInto computes the three-axis prolongation into dst (shape 2·src.N),
+// drawing the two intermediate grids from pool.
+func ProlongInto(dst, src *G, J []float64, pool *Pool) {
+	n := src.N
+	t1 := pool.Get([3]int{n[0] * 2, n[1], n[2]})
+	prolongAxisInto(t1, src, 0, J)
+	t2 := pool.Get([3]int{n[0] * 2, n[1] * 2, n[2]})
+	prolongAxisInto(t2, t1, 1, J)
+	pool.Put(t1)
+	prolongAxisInto(dst, t2, 2, J)
+	pool.Put(t2)
+}
+
+func prolongAxisInto(dst, src *G, axis int, J []float64) {
 	half := len(J) / 2
 	n := src.N[axis]
-	dn := src.N
-	dn[axis] = n * 2
-	dst := New(dn[0], dn[1], dn[2])
+	want := src.N
+	want[axis] = n * 2
+	if dst.N != want {
+		panic("grid: Prolong destination shape mismatch")
+	}
 	_, sStride, sBases := axisLoop(src.N, axis)
 	_, dStride, dBases := axisLoop(dst.N, axis)
-	for li := range sBases {
+	grain := lineGrain(n * (2*half + 1))
+	if par.WorkersGrain(len(sBases), grain) == 1 {
+		prolongLines(dst, src, J, n, sStride, dStride, sBases, dBases, 0, len(sBases))
+		return
+	}
+	par.ForRangeGrain(len(sBases), grain, func(lo, hi int) {
+		prolongLines(dst, src, J, n, sStride, dStride, sBases, dBases, lo, hi)
+	})
+}
+
+// prolongLines is the per-worker kernel of prolongAxisInto.
+func prolongLines(dst, src *G, J []float64, n, sStride, dStride int, sBases, dBases []int, lo, hi int) {
+	half := len(J) / 2
+	for li := lo; li < hi; li++ {
 		sb, db := sBases[li], dBases[li]
+		// Each source line scatters only into its own destination line,
+		// so lines stay independent; clear it first because dst may be
+		// recycled scratch.
+		for k := 0; k < 2*n; k++ {
+			dst.Data[db+k*dStride] = 0
+		}
 		for i := 0; i < n; i++ {
 			v := src.Data[sb+i*sStride]
 			if v == 0 {
@@ -268,5 +496,4 @@ func prolongAxis(src *G, axis int, J []float64) *G {
 			}
 		}
 	}
-	return dst
 }

@@ -4,6 +4,12 @@
 // The helpers degrade gracefully to plain sequential loops when GOMAXPROCS
 // is one or the trip count is small, so there is no goroutine overhead on
 // single-core hosts.
+//
+// Determinism: the helpers only decide *which worker* executes a chunk,
+// never the chunk boundaries themselves. Callers that need results bitwise
+// independent of GOMAXPROCS must therefore fix their own reduction
+// granularity (see pmesh.Interpolate for the pattern); plain ForRange/
+// ForRangeGrain bodies that write disjoint outputs are deterministic as is.
 package par
 
 import (
@@ -12,7 +18,8 @@ import (
 )
 
 // minChunk is the smallest per-worker slice of iterations worth spawning a
-// goroutine for.
+// goroutine for when the caller gives no better estimate of per-iteration
+// cost.
 const minChunk = 64
 
 // For runs body(i) for every i in [0, n) using up to GOMAXPROCS workers.
@@ -29,14 +36,19 @@ func For(n int, body func(i int)) {
 // each chunk, using up to GOMAXPROCS workers. It is the preferred form for
 // loops that carry per-worker scratch state.
 func ForRange(n int, body func(lo, hi int)) {
+	ForRangeGrain(n, minChunk, body)
+}
+
+// ForRangeGrain is ForRange with a caller-chosen minimum chunk size. Use a
+// small grain (down to 1) for loops whose iterations are individually
+// expensive — grid lines, z-slabs, atom blocks — where minChunk's
+// cheap-iteration assumption would serialize the loop.
+func ForRangeGrain(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n/minChunk {
-		workers = n / minChunk
-	}
-	if workers <= 1 {
+	workers := WorkersGrain(n, grain)
+	if workers == 1 {
 		body(0, n)
 		return
 	}
@@ -62,9 +74,19 @@ func ForRange(n int, body func(lo, hi int)) {
 
 // Workers returns the number of workers ForRange would use for n items.
 func Workers(n int) int {
+	return WorkersGrain(n, minChunk)
+}
+
+// WorkersGrain returns the number of workers ForRangeGrain would use for n
+// items at the given grain. It is the single source of truth for the
+// worker-count formula.
+func WorkersGrain(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n/minChunk {
-		workers = n / minChunk
+	if m := n / grain; workers > m {
+		workers = m
 	}
 	if workers < 1 {
 		workers = 1
@@ -72,8 +94,15 @@ func Workers(n int) int {
 	return workers
 }
 
+// pad is the number of float64 words per partial-sum slot; 8 words = 64
+// bytes keeps each worker's accumulator on its own cache line.
+const pad = 8
+
 // SumFloat64 computes body(i) summed over [0, n) with a parallel reduction.
-// body must be pure with respect to shared state.
+// body must be pure with respect to shared state. Partials are reduced in
+// fixed worker order, so the result is deterministic for a given worker
+// count; the chunking (and hence the floating-point association) depends on
+// GOMAXPROCS.
 func SumFloat64(n int, body func(i int) float64) float64 {
 	workers := Workers(n)
 	if workers == 1 {
@@ -83,7 +112,7 @@ func SumFloat64(n int, body func(i int) float64) float64 {
 		}
 		return s
 	}
-	partial := make([]float64, workers)
+	partial := make([]float64, workers*pad)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -102,13 +131,13 @@ func SumFloat64(n int, body func(i int) float64) float64 {
 			for i := lo; i < hi; i++ {
 				s += body(i)
 			}
-			partial[w] = s
+			partial[w*pad] = s
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	var s float64
-	for _, p := range partial {
-		s += p
+	for w := 0; w < workers; w++ {
+		s += partial[w*pad]
 	}
 	return s
 }

@@ -5,15 +5,26 @@
 // These are the operations the MDGRAPE-4A LRU accelerates in hardware; this
 // package is the double-precision software reference. The fixed-point
 // hardware datapath lives in internal/hw/lru.
+//
+// Both AssignTo and Interpolate are parallel and deterministic: the mesh is
+// partitioned by z-plane ownership (scatter) and the energy reduction uses
+// fixed-size particle chunks (gather), so results are bitwise independent
+// of GOMAXPROCS.
 package pmesh
 
 import (
 	"fmt"
+	"sync"
 
 	"tme4a/internal/bspline"
 	"tme4a/internal/grid"
+	"tme4a/internal/par"
 	"tme4a/internal/vec"
 )
+
+// maxOrder is the largest supported B-spline order; the hot loops use
+// fixed [maxOrder]float64 weight scratch to stay allocation-free.
+const maxOrder = 16
 
 // Mesher spreads charges onto, and gathers potentials from, a periodic
 // N[0]×N[1]×N[2] mesh over box using order-p central B-splines.
@@ -26,10 +37,14 @@ type Mesher struct {
 }
 
 // NewMesher returns a mesher of even B-spline order p on an N-point grid
-// over box.
+// over box. p is capped at 16 (the fixed weight-scratch size of the
+// spreading and interpolation kernels).
 func NewMesher(p int, n [3]int, box vec.Box) *Mesher {
 	if p < 2 || p%2 != 0 {
 		panic(fmt.Sprintf("pmesh: order must be even and >= 2, got %d", p))
+	}
+	if p > maxOrder {
+		panic(fmt.Sprintf("pmesh: order must be <= %d (fixed weight scratch), got %d", maxOrder, p))
 	}
 	m := &Mesher{P: p, N: n, Box: box}
 	for j := 0; j < 3; j++ {
@@ -56,23 +71,60 @@ func (m *Mesher) Assign(pos []vec.V, q []float64) *grid.G {
 }
 
 // AssignTo accumulates the charge assignment onto an existing grid.
+//
+// The scatter is parallelized by z-plane ownership: each worker walks all
+// particles in index order but writes only the grid planes it owns, so
+// every mesh point accumulates its contributions in exactly the serial
+// order — no atomics, no privatized grids, and bitwise-identical results at
+// any GOMAXPROCS. Workers reject particles whose p-plane support misses
+// their slab with a cheap bspline.Base test before computing any weights.
 func (m *Mesher) AssignTo(g *grid.G, pos []vec.V, q []float64) {
+	nz := m.N[2]
+	if par.WorkersGrain(nz, 1) == 1 {
+		m.assignSlab(g, pos, q, 0, nz)
+		return
+	}
+	par.ForRangeGrain(nz, 1, func(zlo, zhi int) {
+		m.assignSlab(g, pos, q, zlo, zhi)
+	})
+}
+
+// assignSlab scatters every particle whose support touches grid planes
+// [zlo, zhi), writing only those planes.
+func (m *Mesher) assignSlab(g *grid.G, pos []vec.V, q []float64, zlo, zhi int) {
 	p := m.P
-	var wx, wy, wz, d [16]float64
 	nx, ny, nz := m.N[0], m.N[1], m.N[2]
+	full := zlo == 0 && zhi == nz
+	var wx, wy, wz, d [maxOrder]float64
 	for i, r := range pos {
 		qi := q[i]
 		if qi == 0 {
 			continue
 		}
+		uz := r[2] * m.invH[2]
+		mz := bspline.Base(p, uz)
+		if !full {
+			hit := false
+			for c := 0; c < p; c++ {
+				if iz := wrap(mz+c, nz); iz >= zlo && iz < zhi {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+		}
 		ux := r[0] * m.invH[0]
 		uy := r[1] * m.invH[1]
-		uz := r[2] * m.invH[2]
 		mx := bspline.Weights(p, ux, wx[:p], d[:p])
 		my := bspline.Weights(p, uy, wy[:p], d[:p])
-		mz := bspline.Weights(p, uz, wz[:p], d[:p])
+		bspline.Weights(p, uz, wz[:p], d[:p])
 		for c := 0; c < p; c++ {
 			iz := wrap(mz+c, nz)
+			if iz < zlo || iz >= zhi {
+				continue
+			}
 			qz := qi * wz[c]
 			for b := 0; b < p; b++ {
 				iy := wrap(my+b, ny)
@@ -86,16 +138,62 @@ func (m *Mesher) AssignTo(g *grid.G, pos []vec.V, q []float64) {
 	}
 }
 
+// energyChunk is the fixed particle-chunk size of the Interpolate energy
+// reduction. Chunk boundaries depend only on the particle count — never on
+// GOMAXPROCS — so the summation order (and hence the energy, bitwise) is
+// identical at any worker count.
+const energyChunk = 256
+
+// partialPool recycles the per-call chunk-partial slices.
+var partialPool = sync.Pool{New: func() interface{} { return new([]float64) }}
+
 // Interpolate gathers the per-atom electrostatic potentials φ_i from the
 // grid potential phi (Eq. (15)) and accumulates forces F_i = −q_i ∇φ(r_i)
 // (Eq. (16)–(17)) into f. It returns the interaction energy
 // E = ½ Σ q_i φ_i (Eq. (14)).
 func (m *Mesher) Interpolate(phi *grid.G, pos []vec.V, q []float64, f []vec.V) float64 {
+	nchunks := (len(pos) + energyChunk - 1) / energyChunk
+	pp := partialPool.Get().(*[]float64)
+	if cap(*pp) < nchunks {
+		*pp = make([]float64, nchunks)
+	}
+	partial := (*pp)[:nchunks]
+	if par.WorkersGrain(nchunks, 1) == 1 {
+		m.interpolateChunks(phi, pos, q, f, partial, 0, nchunks)
+	} else {
+		par.ForRangeGrain(nchunks, 1, func(clo, chi int) {
+			m.interpolateChunks(phi, pos, q, f, partial, clo, chi)
+		})
+	}
+	var energy float64
+	for _, e := range partial {
+		energy += e
+	}
+	partialPool.Put(pp)
+	return energy
+}
+
+// interpolateChunks evaluates the fixed-size particle chunks [clo, chi),
+// storing each chunk's energy in partial.
+func (m *Mesher) interpolateChunks(phi *grid.G, pos []vec.V, q []float64, f []vec.V, partial []float64, clo, chi int) {
+	for ci := clo; ci < chi; ci++ {
+		lo := ci * energyChunk
+		hi := lo + energyChunk
+		if hi > len(pos) {
+			hi = len(pos)
+		}
+		partial[ci] = m.interpolateRange(phi, pos, q, f, lo, hi)
+	}
+}
+
+// interpolateRange is the serial gather kernel over particles [lo, hi).
+func (m *Mesher) interpolateRange(phi *grid.G, pos []vec.V, q []float64, f []vec.V, lo, hi int) float64 {
 	p := m.P
-	var wx, wy, wz, dx, dy, dz [16]float64
+	var wx, wy, wz, dx, dy, dz [maxOrder]float64
 	nx, ny, nz := m.N[0], m.N[1], m.N[2]
 	var energy float64
-	for i, r := range pos {
+	for i := lo; i < hi; i++ {
+		r := pos[i]
 		qi := q[i]
 		if qi == 0 {
 			continue
@@ -139,7 +237,7 @@ func (m *Mesher) Interpolate(phi *grid.G, pos []vec.V, q []float64, f []vec.V) f
 // (used by tests and diagnostics).
 func (m *Mesher) PotentialAt(phi *grid.G, r vec.V) float64 {
 	p := m.P
-	var wx, wy, wz, d [16]float64
+	var wx, wy, wz, d [maxOrder]float64
 	mx := bspline.Weights(p, r[0]*m.invH[0], wx[:p], d[:p])
 	my := bspline.Weights(p, r[1]*m.invH[1], wy[:p], d[:p])
 	mz := bspline.Weights(p, r[2]*m.invH[2], wz[:p], d[:p])

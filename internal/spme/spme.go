@@ -12,6 +12,7 @@ package spme
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"tme4a/internal/bspline"
 	"tme4a/internal/ewald"
@@ -56,6 +57,12 @@ type Solver struct {
 
 	plan  *fft.RealPlan3
 	green []float64 // lattice Green function over the grid, DC term 0
+
+	pool *grid.Pool // recycled charge/potential grids (zero steady-state allocs)
+
+	// specMu guards the reused half-spectrum scratch of PotentialGridInto.
+	specMu sync.Mutex
+	spec   []complex128
 }
 
 // New precomputes an SPME solver for the box.
@@ -68,8 +75,10 @@ func New(prm Params, box vec.Box) *Solver {
 		Box:    box,
 		Mesher: pmesh.NewMesher(prm.Order, prm.N, box),
 		plan:   fft.NewRealPlan3(prm.N[0], prm.N[1], prm.N[2]),
+		pool:   grid.NewPool(),
 	}
 	s.green = latticeGreen(prm, box)
+	s.spec = make([]complex128, s.plan.SpectrumLen())
 	return s
 }
 
@@ -128,13 +137,27 @@ func (s *Solver) Green() []float64 { return s.green }
 // PotentialGrid applies the reciprocal-space solve to a charge grid:
 // Φ = IFFT(G̃ · FFT(Q)). Both the charges and the Green function are real,
 // so only the non-redundant half spectrum is transformed. The input grid
-// is not modified.
+// is not modified. Steady-state callers should prefer PotentialGridInto.
 func (s *Solver) PotentialGrid(q *grid.G) *grid.G {
+	phi := grid.New(s.Prm.N[0], s.Prm.N[1], s.Prm.N[2])
+	s.PotentialGridInto(phi, q)
+	return phi
+}
+
+// PotentialGridInto is PotentialGrid writing into an existing grid,
+// reusing the solver's half-spectrum scratch so repeated solves allocate
+// nothing. phi must not alias q.
+func (s *Solver) PotentialGridInto(phi, q *grid.G) {
 	nx, ny, nz := s.Prm.N[0], s.Prm.N[1], s.Prm.N[2]
 	if q.N != s.Prm.N {
 		panic("spme: charge grid shape mismatch")
 	}
-	spec := make([]complex128, s.plan.SpectrumLen())
+	if phi.N != s.Prm.N {
+		panic("spme: potential grid shape mismatch")
+	}
+	s.specMu.Lock()
+	defer s.specMu.Unlock()
+	spec := s.spec
 	s.plan.Forward(q.Data, spec)
 	hx := s.plan.Hx
 	for kz := 0; kz < nz; kz++ {
@@ -144,18 +167,23 @@ func (s *Solver) PotentialGrid(q *grid.G) *grid.G {
 			}
 		}
 	}
-	phi := grid.New(nx, ny, nz)
 	s.plan.Inverse(spec, phi.Data)
-	return phi
 }
 
 // Recip computes the reciprocal (mesh) part of the SPME energy in kJ/mol,
 // accumulating forces into f (may be nil). It spreads charges, solves on
-// the mesh, and back-interpolates.
+// the mesh, and back-interpolates. All grids come from the solver's pool,
+// so repeated calls allocate nothing.
 func (s *Solver) Recip(pos []vec.V, q []float64, f []vec.V) float64 {
-	qg := s.Mesher.Assign(pos, q)
-	phi := s.PotentialGrid(qg)
-	return s.Mesher.Interpolate(phi, pos, q, f)
+	qg := s.pool.Get(s.Prm.N)
+	qg.Zero()
+	s.Mesher.AssignTo(qg, pos, q)
+	phi := s.pool.Get(s.Prm.N)
+	s.PotentialGridInto(phi, qg)
+	s.pool.Put(qg)
+	e := s.Mesher.Interpolate(phi, pos, q, f)
+	s.pool.Put(phi)
+	return e
 }
 
 // Coulomb computes the full SPME Coulomb energy — real space + reciprocal +

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 gate: vet, build, full test suite, then the race detector over the
+# parallelized packages (grid ops, particle mesh, FFT, TME core, SPME, par).
+# Run from the repo root:  ./tier1.sh
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
+	./internal/fft/ ./internal/spme/ ./internal/core/
