@@ -105,6 +105,27 @@ func BenchmarkFig4NVEStep(b *testing.B) {
 	})
 }
 
+// BenchmarkMDStepVerletSPME measures one MD step in the production
+// configuration: buffered Verlet pair list (0.1 nm skin), SPME mesh and
+// the parallel short-range slab engine. ReportAllocs guards the
+// zero-steady-state-allocation contract at the whole-step level.
+func BenchmarkMDStepVerletSPME(b *testing.B) {
+	sys := waterSystem(b)
+	alpha := spme.AlphaFromRTol(1.0, 1e-4)
+	mesh := spme.New(spme.Params{Alpha: alpha, Rc: 1.0, Order: 6,
+		N: [3]int{16, 16, 16}}, sys.Box)
+	integ := &md.Integrator{
+		FF: &md.ForceField{Alpha: alpha, Rc: 1.0, Skin: 0.1, Mesh: mesh},
+		Dt: 0.001,
+	}
+	integ.Step(sys) // warm the pair list and scratch pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		integ.Step(sys)
+	}
+}
+
 // BenchmarkFig9MachineStep measures the full machine-model simulation of
 // one MD step on the 80,540-atom workload (Fig. 9).
 func BenchmarkFig9MachineStep(b *testing.B) {

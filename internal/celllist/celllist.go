@@ -9,6 +9,18 @@
 // Performance note: the periodic image shift of every cell pair is known
 // from the stencil, so candidate pairs are tested with three subtractions
 // and a compare — no per-pair minimum-image rounding.
+//
+// # Slab decomposition
+//
+// For parallel traversal the list partitions space into ownership slabs:
+// one z-layer of cells per slab in cell mode, fixed contiguous atom blocks
+// in direct mode. The half stencil is z-major — its cross-layer entries all
+// point one layer up — so every pair enumerated from slab s involves only
+// atoms owned by s and atoms owned by one "target" slab (s itself, the
+// layer above, or a later atom block). ForEachPairInSlab reports that
+// target, letting callers accumulate forces with exclusive slab ownership
+// and defer the cross-slab half for a deterministic second pass (see
+// nonbond.ComputeWithList).
 package celllist
 
 import (
@@ -32,12 +44,13 @@ type List struct {
 	direct  bool // too few cells for the stencil; fall back to O(N²)
 }
 
-// Build constructs a cell list for the positions. Cells are at least cutoff
-// wide, so all pairs within cutoff are found inside the 3×3×3 stencil. If
-// the box is too small for a 3-cell decomposition along every axis the list
-// falls back to direct all-pairs enumeration.
-func Build(box vec.Box, cutoff float64, pos []vec.V) *List {
-	l := &List{Box: box, Cutoff: cutoff, n: len(pos)}
+// New computes the cell decomposition for box and cutoff without binning
+// any atoms; Rebuild must be called before traversal. Cells are at least
+// cutoff wide, so all pairs within cutoff are found inside the 3×3×3
+// stencil. If the box is too small for a 3-cell decomposition along every
+// axis the list falls back to direct all-pairs enumeration.
+func New(box vec.Box, cutoff float64) *List {
+	l := &List{Box: box, Cutoff: cutoff}
 	for j := 0; j < 3; j++ {
 		l.nc[j] = int(box.L[j] / cutoff)
 		if l.nc[j] < 1 {
@@ -56,21 +69,41 @@ func Build(box vec.Box, cutoff float64, pos []vec.V) *List {
 		l.direct = true
 		return l
 	}
-	ncells := l.nc[0] * l.nc[1] * l.nc[2]
-	l.head = make([]int32, ncells)
+	l.head = make([]int32, l.nc[0]*l.nc[1]*l.nc[2])
+	return l
+}
+
+// Build constructs a cell list for the positions (New + Rebuild).
+func Build(box vec.Box, cutoff float64, pos []vec.V) *List {
+	l := New(box, cutoff)
+	l.Rebuild(pos)
+	return l
+}
+
+// Rebuild re-bins the positions into the existing cell decomposition,
+// reusing all internal storage (the atom count may change between calls).
+// After warmup it allocates nothing.
+func (l *List) Rebuild(pos []vec.V) {
+	l.n = len(pos)
+	if l.direct {
+		return
+	}
+	if cap(l.next) < l.n {
+		l.next = make([]int32, l.n)
+		l.wrapped = make([]vec.V, l.n)
+	}
+	l.next = l.next[:l.n]
+	l.wrapped = l.wrapped[:l.n]
 	for i := range l.head {
 		l.head[i] = -1
 	}
-	l.next = make([]int32, len(pos))
-	l.wrapped = make([]vec.V, len(pos))
 	for i, r := range pos {
-		w := box.Wrap(r)
+		w := l.Box.Wrap(r)
 		l.wrapped[i] = w
 		c := l.cellIndex(w)
 		l.next[i] = l.head[c]
 		l.head[c] = int32(i)
 	}
-	return l
 }
 
 func (l *List) cellIndex(r vec.V) int {
@@ -93,72 +126,152 @@ func (l *List) NCells() [3]int { return l.nc }
 // Direct reports whether the list fell back to all-pairs enumeration.
 func (l *List) Direct() bool { return l.direct }
 
-// halfStencil is the 13-cell half stencil; together with i<j ordering
-// inside the home cell this visits every pair exactly once.
-var halfStencil = [13][3]int{
-	{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
-	{1, 1, 0}, {1, -1, 0}, {1, 0, 1}, {1, 0, -1},
-	{0, 1, 1}, {0, 1, -1},
-	{1, 1, 1}, {1, 1, -1}, {1, -1, 1}, {1, -1, -1},
+// directBlock is the atom-block granularity of direct-mode slabs and
+// maxDirectSlabs caps their number; both depend only on the atom count, so
+// the slab structure (and hence any slab-ordered reduction) never depends
+// on GOMAXPROCS.
+const (
+	directBlock    = 64
+	maxDirectSlabs = 32
+)
+
+func directSlabs(n int) int {
+	nb := (n + directBlock - 1) / directBlock
+	if nb > maxDirectSlabs {
+		nb = maxDirectSlabs
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	return nb
+}
+
+// Slabs returns the number of ownership slabs: the z-layer count in cell
+// mode, a fixed atom-block count (≤ 32, depending only on the atom count)
+// in direct mode.
+func (l *List) Slabs() int {
+	if l.direct {
+		return directSlabs(l.n)
+	}
+	return l.nc[2]
+}
+
+// The half stencil is split z-major. inPlane is the half of the z = 0
+// neighbours; together with i < j ordering inside the home cell it visits
+// every in-layer pair exactly once. upPlane is the full 3×3 block one layer
+// up. The union {inPlane, upPlane, home} with their negations tiles the
+// 3×3×3 neighbourhood, so every pair within cutoff is enumerated exactly
+// once, and every cross-layer pair is enumerated from the lower layer.
+var inPlane = [4][2]int{
+	{1, 0}, {-1, 1}, {0, 1}, {1, 1},
+}
+
+var upPlane = [9][2]int{
+	{-1, -1}, {0, -1}, {1, -1},
+	{-1, 0}, {0, 0}, {1, 0},
+	{-1, 1}, {0, 1}, {1, 1},
 }
 
 // ForEachPair calls fn(i, j, d, r2) for every unordered pair (i, j) with
 // minimum-image displacement d = r_i − r_j and squared distance r2 ≤
-// cutoff². The pos slice must be the one passed to Build (it is only used
-// in direct mode; cell mode uses the wrapped copies).
+// cutoff². The pos slice must be the one passed to Build/Rebuild (it is
+// only used in direct mode; cell mode uses the wrapped copies).
 func (l *List) ForEachPair(pos []vec.V, fn func(i, j int, d vec.V, r2 float64)) {
+	ns := l.Slabs()
+	for s := 0; s < ns; s++ {
+		l.ForEachPairInSlab(s, pos, func(i, j int, d vec.V, r2 float64, _ int) {
+			fn(i, j, d, r2)
+		})
+	}
+}
+
+// ForEachPairInSlab enumerates the pairs whose first atom is owned by slab
+// s, calling fn(i, j, d, r2, tgt) where tgt is the slab owning atom j.
+// Atom i is always owned by s; tgt is either s (both atoms owned — the
+// caller may update both force entries), the layer above in cell mode, or
+// any later block in direct mode. Distinct slabs own disjoint atom sets,
+// and the enumeration order within a slab is fixed, so concurrent
+// traversal of different slabs with owner-only writes plus a deferred
+// cross-slab pass is deterministic at any worker count.
+func (l *List) ForEachPairInSlab(s int, pos []vec.V, fn func(i, j int, d vec.V, r2 float64, tgt int)) {
 	rc2 := l.Cutoff * l.Cutoff
 	if l.direct {
-		for i := 0; i < l.n; i++ {
+		nb := directSlabs(l.n)
+		c := (l.n + nb - 1) / nb
+		lo, hi := s*c, (s+1)*c
+		if hi > l.n {
+			hi = l.n
+		}
+		for i := lo; i < hi; i++ {
 			for j := i + 1; j < l.n; j++ {
 				d := l.Box.MinImage(pos[i].Sub(pos[j]))
 				if r2 := d.Norm2(); r2 <= rc2 {
-					fn(i, j, d, r2)
+					fn(i, j, d, r2, j/c)
 				}
 			}
 		}
 		return
 	}
 	nx, ny, nz := l.nc[0], l.nc[1], l.nc[2]
+	cz := s
 	w := l.wrapped
-	for cz := 0; cz < nz; cz++ {
-		for cy := 0; cy < ny; cy++ {
-			for cx := 0; cx < nx; cx++ {
-				home := cx + nx*(cy+ny*cz)
-				// Pairs within the home cell: never wrap.
+	// The z-wrap of the layer above is constant across the whole slab.
+	ozUp, szUp := wrapCell(cz+1, nz, l.Box.L[2])
+	tgtUp := ozUp
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			home := cx + nx*(cy+ny*cz)
+			// Pairs within the home cell: never wrap.
+			for i := l.head[home]; i >= 0; i = l.next[i] {
+				wi := w[i]
+				for j := l.next[i]; j >= 0; j = l.next[j] {
+					dx := wi[0] - w[j][0]
+					dy := wi[1] - w[j][1]
+					dz := wi[2] - w[j][2]
+					r2 := dx*dx + dy*dy + dz*dz
+					if r2 <= rc2 {
+						fn(int(i), int(j), vec.V{dx, dy, dz}, r2, s)
+					}
+				}
+			}
+			// In-layer half stencil: the image shift is fixed per cell pair.
+			for _, st := range inPlane {
+				ox, sx := wrapCell(cx+st[0], nx, l.Box.L[0])
+				oy, sy := wrapCell(cy+st[1], ny, l.Box.L[1])
+				other := ox + nx*(oy+ny*cz)
 				for i := l.head[home]; i >= 0; i = l.next[i] {
-					wi := w[i]
-					for j := l.next[i]; j >= 0; j = l.next[j] {
-						dx := wi[0] - w[j][0]
-						dy := wi[1] - w[j][1]
-						dz := wi[2] - w[j][2]
+					// Precompute r_i + shift so the inner loop is three
+					// subtractions and a compare.
+					px := w[i][0] + sx
+					py := w[i][1] + sy
+					pz := w[i][2]
+					for j := l.head[other]; j >= 0; j = l.next[j] {
+						dx := px - w[j][0]
+						dy := py - w[j][1]
+						dz := pz - w[j][2]
 						r2 := dx*dx + dy*dy + dz*dz
 						if r2 <= rc2 {
-							fn(int(i), int(j), vec.V{dx, dy, dz}, r2)
+							fn(int(i), int(j), vec.V{dx, dy, dz}, r2, s)
 						}
 					}
 				}
-				// Pairs with the half stencil: the image shift is fixed
-				// per cell pair.
-				for _, s := range halfStencil {
-					ox, sx := wrapCell(cx+s[0], nx, l.Box.L[0])
-					oy, sy := wrapCell(cy+s[1], ny, l.Box.L[1])
-					oz, sz := wrapCell(cz+s[2], nz, l.Box.L[2])
-					other := ox + nx*(oy+ny*oz)
-					for i := l.head[home]; i >= 0; i = l.next[i] {
-						// Precompute r_i + shift so the inner loop is three
-						// subtractions and a compare.
-						px := w[i][0] + sx
-						py := w[i][1] + sy
-						pz := w[i][2] + sz
-						for j := l.head[other]; j >= 0; j = l.next[j] {
-							dx := px - w[j][0]
-							dy := py - w[j][1]
-							dz := pz - w[j][2]
-							r2 := dx*dx + dy*dy + dz*dz
-							if r2 <= rc2 {
-								fn(int(i), int(j), vec.V{dx, dy, dz}, r2)
-							}
+			}
+			// Full 3×3 stencil one layer up: atom j is owned by tgtUp.
+			for _, st := range upPlane {
+				ox, sx := wrapCell(cx+st[0], nx, l.Box.L[0])
+				oy, sy := wrapCell(cy+st[1], ny, l.Box.L[1])
+				other := ox + nx*(oy+ny*ozUp)
+				for i := l.head[home]; i >= 0; i = l.next[i] {
+					px := w[i][0] + sx
+					py := w[i][1] + sy
+					pz := w[i][2] + szUp
+					for j := l.head[other]; j >= 0; j = l.next[j] {
+						dx := px - w[j][0]
+						dy := py - w[j][1]
+						dz := pz - w[j][2]
+						r2 := dx*dx + dy*dy + dz*dz
+						if r2 <= rc2 {
+							fn(int(i), int(j), vec.V{dx, dy, dz}, r2, tgtUp)
 						}
 					}
 				}

@@ -121,11 +121,16 @@ func TestWrappedPositionsOutsideBox(t *testing.T) {
 
 func TestStencilCoverage(t *testing.T) {
 	// Every of the 26 neighbour offsets must be reachable exactly once by
-	// the half stencil in either direction.
+	// the half stencil (in-plane half + full layer above) in either
+	// direction.
 	seen := map[[3]int]int{}
-	for _, s := range halfStencil {
-		seen[s]++
-		seen[[3]int{-s[0], -s[1], -s[2]}]++
+	for _, s := range inPlane {
+		seen[[3]int{s[0], s[1], 0}]++
+		seen[[3]int{-s[0], -s[1], 0}]++
+	}
+	for _, s := range upPlane {
+		seen[[3]int{s[0], s[1], 1}]++
+		seen[[3]int{-s[0], -s[1], -1}]++
 	}
 	if len(seen) != 26 {
 		t.Fatalf("stencil covers %d offsets, want 26", len(seen))

@@ -1,0 +1,5 @@
+//go:build !race
+
+package celllist
+
+const raceEnabled = false

@@ -13,6 +13,7 @@ package ewald
 
 import (
 	"math"
+	"sync"
 
 	"tme4a/internal/celllist"
 	"tme4a/internal/par"
@@ -63,34 +64,92 @@ func SelfEnergy(q []float64, alpha float64) float64 {
 	return -alpha / math.Sqrt(math.Pi) * s * units.Coulomb
 }
 
+// exclChunk is the fixed atom-chunk size of the parallel exclusion
+// correction; chunk boundaries depend only on the atom count, never on
+// GOMAXPROCS, so the reduction order (and the energy, bitwise) is
+// identical at any worker count.
+const exclChunk = 256
+
 // ExclusionCorrection removes the reciprocal-space interaction of excluded
 // pairs: E = −Σ_excl q_i q_j erf(α r)/r with minimum-image r, accumulating
 // forces into f (may be nil).
+//
+// The sum is evaluated in gather form — each atom's worker walks the
+// atom's full exclusion-neighbour list, accumulating only that atom's
+// force and half of each pair energy — so fixed atom chunks can run in
+// parallel with owner-only force writes and a deterministic chunked energy
+// reduction. Since erf(αr)/r and the minimum image are exactly symmetric
+// in i↔j, the two half-energies sum to the pair energy exactly.
 func ExclusionCorrection(box vec.Box, pos []vec.V, q []float64, alpha float64, excl *topol.Exclusions, f []vec.V) float64 {
 	if excl == nil {
 		return 0
 	}
+	n := excl.NAtoms()
+	if n > len(pos) {
+		n = len(pos)
+	}
+	nchunks := (n + exclChunk - 1) / exclChunk
+	if nchunks == 0 {
+		return 0
+	}
 	var energy float64
-	for _, pr := range excl.Pairs() {
-		i, j := int(pr.I), int(pr.J)
-		qq := q[i] * q[j]
-		if qq == 0 {
-			continue
+	if par.WorkersGrain(nchunks, 1) == 1 {
+		for c := 0; c < nchunks; c++ {
+			energy += exclGatherChunk(box, pos, q, alpha, excl, f, c, n)
 		}
-		d := box.MinImage(pos[i].Sub(pos[j]))
-		r2 := d.Norm2()
-		r := math.Sqrt(r2)
-		e := math.Erf(alpha*r) / r
-		energy -= qq * e
-		if f != nil {
-			// Correction force: F_i = +q_i q_j d/dr[erf(αr)/r]·r̂.
-			fr := qq * (alpha*TwoOverSqrtPi*math.Exp(-alpha*alpha*r2) - e) / r2 * units.Coulomb
-			fv := d.Scale(fr)
-			f[i] = f[i].Add(fv)
-			f[j] = f[j].Sub(fv)
+	} else {
+		partial := exclPartialPool.Get().(*[]float64)
+		if cap(*partial) < nchunks {
+			*partial = make([]float64, nchunks)
 		}
+		ps := (*partial)[:nchunks]
+		par.ForRangeGrain(nchunks, 1, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				ps[c] = exclGatherChunk(box, pos, q, alpha, excl, f, c, n)
+			}
+		})
+		for _, e := range ps {
+			energy += e
+		}
+		exclPartialPool.Put(partial)
 	}
 	return energy * units.Coulomb
+}
+
+var exclPartialPool = sync.Pool{New: func() interface{} { return new([]float64) }}
+
+// exclGatherChunk evaluates the exclusion correction gathered onto the
+// atoms of chunk c, returning the chunk's (half-counted) energy.
+func exclGatherChunk(box vec.Box, pos []vec.V, q []float64, alpha float64, excl *topol.Exclusions, f []vec.V, c, n int) float64 {
+	lo, hi := c*exclChunk, (c+1)*exclChunk
+	if hi > n {
+		hi = n
+	}
+	var energy float64
+	for i := lo; i < hi; i++ {
+		qi := q[i]
+		if qi == 0 {
+			continue
+		}
+		for _, j32 := range excl.Neighbors(i) {
+			j := int(j32)
+			qq := qi * q[j]
+			if qq == 0 {
+				continue
+			}
+			d := box.MinImage(pos[i].Sub(pos[j]))
+			r2 := d.Norm2()
+			r := math.Sqrt(r2)
+			e := math.Erf(alpha*r) / r
+			energy -= 0.5 * qq * e
+			if f != nil {
+				// Correction force: F_i = +q_i q_j d/dr[erf(αr)/r]·r̂.
+				fr := qq * (alpha*TwoOverSqrtPi*math.Exp(-alpha*alpha*r2) - e) / r2 * units.Coulomb
+				f[i] = f[i].Add(d.Scale(fr))
+			}
+		}
+	}
+	return energy
 }
 
 // Reciprocal computes the reciprocal-space Ewald sum over lattice vectors

@@ -150,6 +150,15 @@ func (p *Pipeline) PairForce(r2, qq, sigma2, eps float64) (fr, energy float64) {
 
 // CyclesForPairs returns the pipeline-array cycles to evaluate n pair
 // interactions on one SoC (one pair per pipeline per cycle).
+//
+// The hardware keeps its 64 pipelines busy by giving each a disjoint
+// spatial region of the cell decomposition, with cross-boundary pair
+// forces accumulated in a separate reduction phase. The software engine
+// mirrors this exactly: celllist.ForEachPairInSlab partitions cells into
+// worker-owned z-slabs, and nonbond defers cross-slab reaction forces to
+// a second pass applied in fixed slab order — so the cycle count modeled
+// here and the software's parallel decomposition count the same pairs in
+// the same partitioning scheme.
 func CyclesForPairs(n int) int {
 	return (n + PipesPerSoC - 1) / PipesPerSoC
 }

@@ -2,8 +2,10 @@ package md
 
 import (
 	"tme4a/internal/bonded"
+	"tme4a/internal/celllist"
 	"tme4a/internal/ewald"
 	"tme4a/internal/nonbond"
+	"tme4a/internal/par"
 	"tme4a/internal/vec"
 )
 
@@ -42,6 +44,14 @@ func (e Energies) Coulomb() float64 { return e.CoulShort + e.CoulLong + e.CoulEx
 // enables a buffered Verlet pair list rebuilt only when an atom has moved
 // more than Skin/2 (the GROMACS verlet scheme the paper's reference runs
 // use).
+//
+// Every term writes into its own cached force buffer and the buffers are
+// merged per atom in a fixed order, so the short-range pair engine, the
+// mesh solve (+ exclusion corrections) and the bonded terms can run
+// concurrently on the worker pool (par.Do) with results bitwise identical
+// at any GOMAXPROCS — the software analogue of the MDGRAPE-4A pipelines,
+// LRU and GP cores working the same step in parallel. All scratch is
+// reused, so a steady-state force evaluation allocates nothing.
 type ForceField struct {
 	Alpha  float64
 	Rc     float64
@@ -50,6 +60,9 @@ type ForceField struct {
 	Bonded *bonded.FF
 
 	vlist *nonbond.VerletList
+	// cl is the reused cell decomposition of the unbuffered (Skin == 0)
+	// path, rebuilt every evaluation but never reallocated.
+	cl *celllist.List
 	// Cached long-range state for multiple-timestep integration
 	// (Integrator.MeshEvery > 1): the mesh forces of the last full
 	// evaluation are replayed on intermediate steps, the practice the
@@ -58,6 +71,8 @@ type ForceField struct {
 	meshForces []vec.V
 	meshEnergy float64
 	meshExcl   float64
+	// bondedFrc is the bonded terms' private force buffer.
+	bondedFrc []vec.V
 }
 
 // Compute zeroes sys.Frc and evaluates all force-field terms, returning
@@ -74,11 +89,57 @@ func (ff *ForceField) ComputeReuseMesh(sys *System) Energies {
 }
 
 func (ff *ForceField) compute(sys *System, doMesh bool) Energies {
+	// The three force terms write disjoint buffers (sys.Frc, meshForces,
+	// bondedFrc), so they can overlap. Each is internally deterministic
+	// and the merge below is per-atom with a fixed association order, so
+	// the result does not depend on how the tasks interleave. The
+	// concurrent branch lives in its own function: par.Do closures would
+	// force their captures onto the heap even on the serial path, and the
+	// sequential branch must stay allocation-free at steady state.
+	var res nonbond.Result
+	var eBonded float64
+	if par.Concurrent() && (ff.Mesh != nil || ff.Bonded != nil) {
+		res, eBonded = ff.computeTermsParallel(sys, doMesh)
+	} else {
+		res = ff.shortRange(sys)
+		ff.meshTerm(sys, doMesh)
+		eBonded = ff.bondedTerm(sys)
+	}
+
+	var e Energies
+	e.CoulShort = res.ECoul
+	e.LJ = res.ELJ
+	e.Bonded = eBonded
+	if ff.Mesh != nil {
+		e.CoulLong = ff.meshEnergy
+		e.CoulExcl = ff.meshExcl
+	}
+	ff.merge(sys)
+	e.Kinetic = sys.KineticEnergy()
+	return e
+}
+
+// computeTermsParallel overlaps the three force terms on the worker pool,
+// the software analogue of MDGRAPE-4A's nonbond pipelines, LRU and GP
+// cores working the same step concurrently.
+func (ff *ForceField) computeTermsParallel(sys *System, doMesh bool) (nonbond.Result, float64) {
+	var res nonbond.Result
+	var eBonded float64
+	par.Do(
+		func() { res = ff.shortRange(sys) },
+		func() { ff.meshTerm(sys, doMesh) },
+		func() { eBonded = ff.bondedTerm(sys) },
+	)
+	return res, eBonded
+}
+
+// shortRange zeroes sys.Frc and evaluates the short-range nonbonded term
+// into it, via the buffered Verlet list (Skin > 0) or the reused cell
+// list.
+func (ff *ForceField) shortRange(sys *System) nonbond.Result {
 	for i := range sys.Frc {
 		sys.Frc[i] = vec.V{}
 	}
-	var e Energies
-	var res nonbond.Result
 	if ff.Skin > 0 {
 		if ff.vlist == nil {
 			ff.vlist = nonbond.NewVerletList(sys.Box, ff.Rc, ff.Skin)
@@ -86,32 +147,76 @@ func (ff *ForceField) compute(sys *System, doMesh bool) Energies {
 		if ff.vlist.NeedsRebuild(sys.Pos) {
 			ff.vlist.Rebuild(sys.Pos, sys.Excl)
 		}
-		res = ff.vlist.Compute(sys.Pos, sys.Q, sys.LJ, ff.Alpha, sys.Frc)
+		return ff.vlist.Compute(sys.Pos, sys.Q, sys.LJ, ff.Alpha, sys.Frc)
+	}
+	if ff.cl == nil {
+		ff.cl = celllist.New(sys.Box, ff.Rc)
+	}
+	ff.cl.Rebuild(sys.Pos)
+	return nonbond.ComputeWithList(ff.cl, sys.Box, sys.Pos, sys.Q, sys.LJ, ff.Alpha, sys.Excl, sys.Frc)
+}
+
+// meshTerm refreshes the cached long-range forces and energies when due
+// (every step, or on mesh steps of a multiple-timestep schedule).
+func (ff *ForceField) meshTerm(sys *System, doMesh bool) {
+	if ff.Mesh == nil {
+		return
+	}
+	if !doMesh && len(ff.meshForces) == sys.N() {
+		return
+	}
+	if len(ff.meshForces) != sys.N() {
+		ff.meshForces = make([]vec.V, sys.N())
+	}
+	for i := range ff.meshForces {
+		ff.meshForces[i] = vec.V{}
+	}
+	ff.meshEnergy = ff.Mesh.LongRange(sys.Pos, sys.Q, ff.meshForces)
+	ff.meshExcl = ewald.ExclusionCorrection(sys.Box, sys.Pos, sys.Q, ff.Alpha, sys.Excl, ff.meshForces)
+}
+
+// bondedTerm evaluates the bonded terms into their private buffer.
+func (ff *ForceField) bondedTerm(sys *System) float64 {
+	if ff.Bonded == nil {
+		return 0
+	}
+	if len(ff.bondedFrc) != sys.N() {
+		ff.bondedFrc = make([]vec.V, sys.N())
+	}
+	for i := range ff.bondedFrc {
+		ff.bondedFrc[i] = vec.V{}
+	}
+	return ff.Bonded.Compute(sys.Box, sys.Pos, ff.bondedFrc)
+}
+
+// merge folds the term buffers into sys.Frc. Per atom the association
+// order is fixed (short-range + mesh + bonded), so the merge is bitwise
+// identical at any worker count.
+func (ff *ForceField) merge(sys *System) {
+	mesh := ff.Mesh != nil
+	bond := ff.Bonded != nil
+	if !mesh && !bond {
+		return
+	}
+	n := sys.N()
+	if par.Workers(n) == 1 {
+		ff.mergeRange(sys, 0, n, mesh, bond)
 	} else {
-		res = nonbond.Compute(sys.Box, sys.Pos, sys.Q, sys.LJ, ff.Alpha, ff.Rc, sys.Excl, sys.Frc)
+		par.ForRange(n, func(lo, hi int) {
+			ff.mergeRange(sys, lo, hi, mesh, bond)
+		})
 	}
-	e.CoulShort = res.ECoul
-	e.LJ = res.ELJ
-	if ff.Mesh != nil {
-		if doMesh || ff.meshForces == nil {
-			if len(ff.meshForces) != sys.N() {
-				ff.meshForces = make([]vec.V, sys.N())
-			}
-			for i := range ff.meshForces {
-				ff.meshForces[i] = vec.V{}
-			}
-			ff.meshEnergy = ff.Mesh.LongRange(sys.Pos, sys.Q, ff.meshForces)
-			ff.meshExcl = ewald.ExclusionCorrection(sys.Box, sys.Pos, sys.Q, ff.Alpha, sys.Excl, ff.meshForces)
+}
+
+func (ff *ForceField) mergeRange(sys *System, lo, hi int, mesh, bond bool) {
+	for i := lo; i < hi; i++ {
+		fi := sys.Frc[i]
+		if mesh {
+			fi = fi.Add(ff.meshForces[i])
 		}
-		e.CoulLong = ff.meshEnergy
-		e.CoulExcl = ff.meshExcl
-		for i := range sys.Frc {
-			sys.Frc[i] = sys.Frc[i].Add(ff.meshForces[i])
+		if bond {
+			fi = fi.Add(ff.bondedFrc[i])
 		}
+		sys.Frc[i] = fi
 	}
-	if ff.Bonded != nil {
-		e.Bonded = ff.Bonded.Compute(sys.Box, sys.Pos, sys.Frc)
-	}
-	e.Kinetic = sys.KineticEnergy()
-	return e
 }

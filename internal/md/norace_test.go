@@ -1,0 +1,5 @@
+//go:build !race
+
+package md_test
+
+const raceEnabled = false

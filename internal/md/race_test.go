@@ -1,0 +1,8 @@
+//go:build race
+
+package md_test
+
+// raceEnabled disables allocation-count assertions (and the long NVE
+// regression run) under the race detector, whose instrumentation
+// allocates on sync.Pool operations and slows stepping ~20x.
+const raceEnabled = true

@@ -1,0 +1,82 @@
+package nonbond
+
+// Steady-state allocation gates for the short-range engine. After the first
+// call warms the scratch pool, recomputing over a reused cell list or a
+// buffered Verlet list must not allocate at all: the inner loop runs every
+// MD step and any per-step garbage would dominate GC pressure at scale.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tme4a/internal/celllist"
+	"tme4a/internal/vec"
+)
+
+func TestComputeWithListSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	rng := rand.New(rand.NewSource(nameSeed(t)))
+	for _, tc := range []struct {
+		name string
+		box  vec.Box
+	}{
+		{"cells", vec.Cubic(5)},
+		{"direct", vec.Cubic(2.2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 300
+			pos, q, lj := randomSystem(rng, n, tc.box)
+			excl := testExclusions(n)
+			cl := celllist.New(tc.box, 1.0)
+			f := make([]vec.V, n)
+			cl.Rebuild(pos)
+			ComputeWithList(cl, tc.box, pos, q, lj, 2.5, excl, f) // warm the pool
+			allocs := testing.AllocsPerRun(10, func() {
+				cl.Rebuild(pos)
+				ComputeWithList(cl, tc.box, pos, q, lj, 2.5, excl, f)
+			})
+			if allocs != 0 {
+				t.Fatalf("Rebuild+ComputeWithList allocates %.1f per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestVerletComputeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	rng := rand.New(rand.NewSource(nameSeed(t)))
+	box := vec.Cubic(4)
+	n := 300
+	pos, q, lj := randomSystem(rng, n, box)
+	excl := testExclusions(n)
+
+	v := NewVerletList(box, 1.0, 0.2)
+	v.Rebuild(pos, excl)
+	f := make([]vec.V, n)
+	v.Compute(pos, q, lj, 2.5, f)
+	allocs := testing.AllocsPerRun(10, func() {
+		v.Compute(pos, q, lj, 2.5, f)
+	})
+	if allocs != 0 {
+		t.Fatalf("VerletList.Compute allocates %.1f per run, want 0", allocs)
+	}
+
+	// Rebuild at the same atom count must also be allocation-free once the
+	// buckets have grown to capacity.
+	v.Rebuild(pos, excl)
+	allocs = testing.AllocsPerRun(10, func() {
+		v.Rebuild(pos, excl)
+	})
+	if allocs != 0 {
+		t.Fatalf("VerletList.Rebuild allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -6,12 +6,26 @@
 // dedicated pipelines per SoC evaluating one pair interaction per cycle.
 // The cycle model of those pipelines lives in internal/hw; this package is
 // the numerical implementation.
+//
+// # Parallel determinism
+//
+// ComputeWithList and VerletList.Compute are parallelized over the cell
+// list's ownership slabs (celllist.List.Slabs) with the same guarantee the
+// mesh pipeline gives: results are bitwise identical at any GOMAXPROCS.
+// Each slab's worker accumulates forces only into atoms its slab owns, in
+// a fixed enumeration order; the Newton-pair reaction forces that land in
+// a foreign slab are recorded in per-slab deferred buffers and applied by
+// the owning slab in a second pass, in fixed source-slab order. Energies,
+// virial-style sums and pair counts reduce over per-slab padded partials
+// in ascending slab order. No atomics, no per-worker force arrays.
 package nonbond
 
 import (
 	"math"
+	"sync"
 
 	"tme4a/internal/celllist"
+	"tme4a/internal/par"
 	"tme4a/internal/topol"
 	"tme4a/internal/units"
 	"tme4a/internal/vec"
@@ -31,6 +45,82 @@ type Result struct {
 	Pairs int     // interacting pairs evaluated (within cutoff)
 }
 
+// slabPartial is one slab's energy/pair-count accumulator, padded to a
+// cache line so concurrent slab workers never share one.
+type slabPartial struct {
+	eCoul, eLJ float64
+	pairs      int
+	_          [5]float64
+}
+
+// deferredForce is a Newton-pair reaction force destined for an atom in a
+// foreign slab, applied by that slab's worker in the second pass.
+type deferredForce struct {
+	j int32
+	f vec.V
+}
+
+// pairScratch holds the per-call slab partials and deferred-force buffers
+// of ComputeWithList, recycled through scratchPool so steady-state calls
+// allocate nothing.
+type pairScratch struct {
+	part []slabPartial
+	// def[src*ns+tgt] collects the reaction forces slab src owes slab tgt.
+	// Used in cell mode, where cross-slab pairs are the thin boundary-layer
+	// minority and only tgt = src+1 (mod ns) is populated.
+	def []([]deferredForce)
+	// dense[src] is slab src's private full-length reaction-force buffer,
+	// used in direct mode instead of def: there nearly every pair crosses a
+	// block boundary, and a dense accumulator costs one vector write per
+	// pair (like the serial f[j] update) where per-pair deferred entries
+	// would dominate the runtime. Direct mode caps the slab count at 32, so
+	// the footprint stays bounded at ns·n vectors.
+	dense [][]vec.V
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(pairScratch) }}
+
+func (sc *pairScratch) reset(ns int) {
+	if cap(sc.part) < ns {
+		sc.part = make([]slabPartial, ns)
+	}
+	sc.part = sc.part[:ns]
+	for i := range sc.part {
+		sc.part[i] = slabPartial{}
+	}
+	need := ns * ns
+	if cap(sc.def) < need {
+		old := sc.def
+		sc.def = make([][]deferredForce, need)
+		// Keep the grown buffers of previous calls alive.
+		copy(sc.def, old)
+	}
+	sc.def = sc.def[:need]
+	for i := range sc.def {
+		sc.def[i] = sc.def[i][:0]
+	}
+}
+
+// resetDense sizes and zeroes the direct-mode dense reaction buffers.
+func (sc *pairScratch) resetDense(ns, n int) {
+	if cap(sc.dense) < ns {
+		old := sc.dense
+		sc.dense = make([][]vec.V, ns)
+		copy(sc.dense, old)
+	}
+	sc.dense = sc.dense[:ns]
+	for s := range sc.dense {
+		if cap(sc.dense[s]) < n {
+			sc.dense[s] = make([]vec.V, n)
+		}
+		sc.dense[s] = sc.dense[s][:n]
+		buf := sc.dense[s]
+		for i := range buf {
+			buf[i] = vec.V{}
+		}
+	}
+}
+
 // Compute evaluates short-range interactions for all non-excluded pairs
 // within rc, accumulating forces into f (may be nil). alpha is the Ewald
 // splitting parameter; pass alpha = 0 for plain (unscreened) Coulomb.
@@ -41,44 +131,174 @@ func Compute(box vec.Box, pos []vec.V, q []float64, lj *LJ, alpha, rc float64, e
 
 // ComputeWithList is Compute with a prebuilt cell list (so callers stepping
 // an MD trajectory can reuse the list while atoms move less than the skin).
+// It is parallel and bitwise deterministic at any GOMAXPROCS (see the
+// package comment) and allocation-free in steady state.
 func ComputeWithList(cl *celllist.List, box vec.Box, pos []vec.V, q []float64, lj *LJ, alpha float64, excl *topol.Exclusions, f []vec.V) Result {
+	ns := cl.Slabs()
+	n := len(pos)
+	dense := cl.Direct() && f != nil
+	sc := scratchPool.Get().(*pairScratch)
+	sc.reset(ns)
+	if dense {
+		sc.resetDense(ns, n)
+	}
+	if par.WorkersGrain(ns, 1) == 1 {
+		if dense {
+			for s := 0; s < ns; s++ {
+				computeSlabDense(cl, pos, q, lj, alpha, excl, f, sc, s)
+			}
+			applyDense(f, sc, 0, ns, ns, n)
+		} else {
+			for s := 0; s < ns; s++ {
+				computeSlab(cl, pos, q, lj, alpha, excl, f, sc, s, ns)
+			}
+			if f != nil {
+				applyDeferred(f, sc, 0, ns, ns)
+			}
+		}
+	} else if dense {
+		par.ForRangeGrain(ns, 1, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				computeSlabDense(cl, pos, q, lj, alpha, excl, f, sc, s)
+			}
+		})
+		par.ForRangeGrain(ns, 1, func(lo, hi int) {
+			applyDense(f, sc, lo, hi, ns, n)
+		})
+	} else {
+		par.ForRangeGrain(ns, 1, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				computeSlab(cl, pos, q, lj, alpha, excl, f, sc, s, ns)
+			}
+		})
+		if f != nil {
+			par.ForRangeGrain(ns, 1, func(lo, hi int) {
+				applyDeferred(f, sc, lo, hi, ns)
+			})
+		}
+	}
 	var res Result
-	cl.ForEachPair(pos, func(i, j int, d vec.V, r2 float64) {
+	for s := 0; s < ns; s++ {
+		res.ECoul += sc.part[s].eCoul
+		res.ELJ += sc.part[s].eLJ
+		res.Pairs += sc.part[s].pairs
+	}
+	scratchPool.Put(sc)
+	return res
+}
+
+// computeSlab traverses slab s, writing forces only into atoms slab s owns
+// and deferring cross-slab reaction forces.
+func computeSlab(cl *celllist.List, pos []vec.V, q []float64, lj *LJ, alpha float64, excl *topol.Exclusions, f []vec.V, sc *pairScratch, s, ns int) {
+	p := &sc.part[s]
+	base := s * ns
+	cl.ForEachPairInSlab(s, pos, func(i, j int, d vec.V, r2 float64, tgt int) {
 		if excl.Excluded(i, j) {
 			return
 		}
-		res.Pairs++
-		r := math.Sqrt(r2)
-		inv2 := 1 / r2
-		var fr float64 // radial force / r, so F_i = fr·d
-
-		if qq := q[i] * q[j]; qq != 0 {
-			var e float64
-			if alpha > 0 {
-				e = qq * math.Erfc(alpha*r) / r * units.Coulomb
-				fr += (e + qq*units.Coulomb*alpha*twoOverSqrtPi*math.Exp(-alpha*alpha*r2)) * inv2
-			} else {
-				e = qq / r * units.Coulomb
-				fr += e * inv2
-			}
-			res.ECoul += e
-		}
-		if lj != nil && lj.Eps[i] != 0 && lj.Eps[j] != 0 {
-			eps := math.Sqrt(lj.Eps[i] * lj.Eps[j])
-			sig := 0.5 * (lj.Sigma[i] + lj.Sigma[j])
-			sr2 := sig * sig * inv2
-			sr6 := sr2 * sr2 * sr2
-			sr12 := sr6 * sr6
-			res.ELJ += 4 * eps * (sr12 - sr6)
-			fr += 24 * eps * (2*sr12 - sr6) * inv2
-		}
+		p.pairs++
+		eC, eLJ, fr := pairEval(q[i]*q[j], lj, i, j, alpha, r2)
+		p.eCoul += eC
+		p.eLJ += eLJ
 		if f != nil && fr != 0 {
 			fv := d.Scale(fr)
 			f[i] = f[i].Add(fv)
-			f[j] = f[j].Sub(fv)
+			if tgt == s {
+				f[j] = f[j].Sub(fv)
+			} else {
+				sc.def[base+tgt] = append(sc.def[base+tgt], deferredForce{int32(j), fv})
+			}
 		}
 	})
-	return res
+}
+
+// computeSlabDense is the direct-mode variant of computeSlab: cross-block
+// reaction forces accumulate into the slab's dense private buffer instead
+// of per-pair deferred entries.
+func computeSlabDense(cl *celllist.List, pos []vec.V, q []float64, lj *LJ, alpha float64, excl *topol.Exclusions, f []vec.V, sc *pairScratch, s int) {
+	p := &sc.part[s]
+	fs := sc.dense[s]
+	cl.ForEachPairInSlab(s, pos, func(i, j int, d vec.V, r2 float64, tgt int) {
+		if excl.Excluded(i, j) {
+			return
+		}
+		p.pairs++
+		eC, eLJ, fr := pairEval(q[i]*q[j], lj, i, j, alpha, r2)
+		p.eCoul += eC
+		p.eLJ += eLJ
+		if fr != 0 {
+			fv := d.Scale(fr)
+			f[i] = f[i].Add(fv)
+			if tgt == s {
+				f[j] = f[j].Sub(fv)
+			} else {
+				fs[j] = fs[j].Sub(fv)
+			}
+		}
+	})
+}
+
+// applyDense folds the dense reaction buffers into the atoms of target
+// slabs [mlo, mhi), scanning source slabs in ascending order. Direct-mode
+// blocks follow atom order with i < j, so only sources below the target
+// ever contribute.
+func applyDense(f []vec.V, sc *pairScratch, mlo, mhi, ns, n int) {
+	c := (n + ns - 1) / ns
+	for m := mlo; m < mhi; m++ {
+		lo, hi := m*c, (m+1)*c
+		if hi > n {
+			hi = n
+		}
+		for src := 0; src < m; src++ {
+			fs := sc.dense[src]
+			for j := lo; j < hi; j++ {
+				f[j] = f[j].Add(fs[j])
+			}
+		}
+	}
+}
+
+// applyDeferred applies the deferred reaction forces owed to target slabs
+// [mlo, mhi), scanning source slabs in ascending order so each atom's
+// accumulation order is fixed.
+func applyDeferred(f []vec.V, sc *pairScratch, mlo, mhi, ns int) {
+	for m := mlo; m < mhi; m++ {
+		for src := 0; src < ns; src++ {
+			if src == m {
+				continue
+			}
+			for _, e := range sc.def[src*ns+m] {
+				f[e.j] = f[e.j].Sub(e.f)
+			}
+		}
+	}
+}
+
+// pairEval evaluates the erfc-screened Coulomb + Lennard-Jones kernel for
+// one pair at squared distance r2, returning the two energy terms and the
+// radial force factor fr such that F_i = fr·d (and F_j = −fr·d).
+func pairEval(qq float64, lj *LJ, i, j int, alpha, r2 float64) (eC, eLJ, fr float64) {
+	r := math.Sqrt(r2)
+	inv2 := 1 / r2
+	if qq != 0 {
+		if alpha > 0 {
+			eC = qq * math.Erfc(alpha*r) / r * units.Coulomb
+			fr += (eC + qq*units.Coulomb*alpha*twoOverSqrtPi*math.Exp(-alpha*alpha*r2)) * inv2
+		} else {
+			eC = qq / r * units.Coulomb
+			fr += eC * inv2
+		}
+	}
+	if lj != nil && lj.Eps[i] != 0 && lj.Eps[j] != 0 {
+		eps := math.Sqrt(lj.Eps[i] * lj.Eps[j])
+		sig := 0.5 * (lj.Sigma[i] + lj.Sigma[j])
+		sr2 := sig * sig * inv2
+		sr6 := sr2 * sr2 * sr2
+		sr12 := sr6 * sr6
+		eLJ = 4 * eps * (sr12 - sr6)
+		fr += 24 * eps * (2*sr12 - sr6) * inv2
+	}
+	return eC, eLJ, fr
 }
 
 const twoOverSqrtPi = 2 / 1.7724538509055160273

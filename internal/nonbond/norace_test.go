@@ -1,0 +1,5 @@
+//go:build !race
+
+package nonbond
+
+const raceEnabled = false

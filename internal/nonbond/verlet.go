@@ -1,11 +1,9 @@
 package nonbond
 
 import (
-	"math"
-
 	"tme4a/internal/celllist"
+	"tme4a/internal/par"
 	"tme4a/internal/topol"
-	"tme4a/internal/units"
 	"tme4a/internal/vec"
 )
 
@@ -15,14 +13,29 @@ import (
 // This mirrors GROMACS' Verlet scheme (the paper's reference runs use
 // verlet-buffer-tolerance) and the import-region buffering of the
 // MDGRAPE-4A cells.
+//
+// The list is stored bucketed by the cell list's ownership slabs: same[s]
+// holds the pairs fully owned by slab s, cross[s*ns+t] the pairs whose
+// first atom slab s owns and whose second atom slab t owns. Rebuild fills
+// the buckets in parallel (each slab's worker writes only its own buckets)
+// and Compute evaluates them with owner-only force writes plus a deferred
+// cross-slab pass, so both the pair list and the computed forces/energies
+// are bitwise independent of GOMAXPROCS. Steady-state Rebuild and Compute
+// allocate nothing.
 type VerletList struct {
 	Box    vec.Box
 	Cutoff float64
 	Skin   float64
 
-	pairs []pair
-	ref   []vec.V // positions at build time
-	n     int
+	cl     *celllist.List
+	ns     int
+	same   [][]pair
+	cross  [][]pair
+	dfrc   [][]vec.V // deferred reaction forces, parallel to cross
+	part   []slabPartial
+	npairs int
+	ref    []vec.V // positions at build time
+	n      int
 }
 
 type pair struct {
@@ -34,28 +47,102 @@ func NewVerletList(box vec.Box, cutoff, skin float64) *VerletList {
 	return &VerletList{Box: box, Cutoff: cutoff, Skin: skin}
 }
 
-// Rebuild regenerates the pair list from the current positions.
+// Rebuild regenerates the pair list from the current positions. The atom
+// count may differ from the previous build; all internal storage is
+// resized and reused.
 func (v *VerletList) Rebuild(pos []vec.V, excl *topol.Exclusions) {
 	v.n = len(pos)
-	v.pairs = v.pairs[:0]
 	if cap(v.ref) < len(pos) {
 		v.ref = make([]vec.V, len(pos))
 	}
 	v.ref = v.ref[:len(pos)]
 	copy(v.ref, pos)
-	cl := celllist.Build(v.Box, v.Cutoff+v.Skin, pos)
-	cl.ForEachPair(pos, func(i, j int, d vec.V, r2 float64) {
+
+	if v.cl == nil {
+		v.cl = celllist.New(v.Box, v.Cutoff+v.Skin)
+	}
+	v.cl.Rebuild(pos)
+	ns := v.cl.Slabs()
+	v.ns = ns
+	v.same = resizeBuckets(v.same, ns)
+	v.cross = resizeBuckets(v.cross, ns*ns)
+	if cap(v.part) < ns {
+		v.part = make([]slabPartial, ns)
+	}
+	v.part = v.part[:ns]
+	if cap(v.dfrc) < ns*ns {
+		old := v.dfrc
+		v.dfrc = make([][]vec.V, ns*ns)
+		copy(v.dfrc, old)
+	}
+	v.dfrc = v.dfrc[:ns*ns]
+	for b := range v.cross {
+		v.cross[b] = v.cross[b][:0]
+	}
+
+	if par.WorkersGrain(ns, 1) == 1 {
+		for s := 0; s < ns; s++ {
+			v.fillSlab(s, pos, excl)
+		}
+	} else {
+		par.ForRangeGrain(ns, 1, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				v.fillSlab(s, pos, excl)
+			}
+		})
+	}
+
+	v.npairs = 0
+	for s := range v.same {
+		v.npairs += len(v.same[s])
+	}
+	for b := range v.cross {
+		v.npairs += len(v.cross[b])
+		// Match the bucket's capacity, not its length: bucket populations
+		// fluctuate a little between rebuilds, and sizing to the exact
+		// length would reallocate dfrc on every one-pair growth.
+		if cap(v.dfrc[b]) < cap(v.cross[b]) {
+			v.dfrc[b] = make([]vec.V, cap(v.cross[b]))
+		}
+		v.dfrc[b] = v.dfrc[b][:len(v.cross[b])]
+	}
+}
+
+// fillSlab collects slab s's candidate pairs into its own buckets; safe to
+// run concurrently for distinct slabs.
+func (v *VerletList) fillSlab(s int, pos []vec.V, excl *topol.Exclusions) {
+	sm := v.same[s][:0]
+	base := s * v.ns
+	v.cl.ForEachPairInSlab(s, pos, func(i, j int, d vec.V, r2 float64, tgt int) {
 		if excl.Excluded(i, j) {
 			return
 		}
-		v.pairs = append(v.pairs, pair{int32(i), int32(j)})
+		pr := pair{int32(i), int32(j)}
+		if tgt == s {
+			sm = append(sm, pr)
+		} else {
+			v.cross[base+tgt] = append(v.cross[base+tgt], pr)
+		}
 	})
+	v.same[s] = sm
 }
 
-// NeedsRebuild reports whether any atom has moved more than skin/2 since
-// the last Rebuild (the standard sufficient condition for list validity).
+func resizeBuckets(b [][]pair, n int) [][]pair {
+	if cap(b) < n {
+		old := b
+		b = make([][]pair, n)
+		copy(b, old)
+	}
+	return b[:n]
+}
+
+// NeedsRebuild reports whether the list is stale: the atom count changed
+// since the last Rebuild, or any atom has moved more than skin/2 (the
+// standard sufficient condition for list validity). The atom-count check
+// comes first so a grown position slice is never compared against the
+// shorter reference copy.
 func (v *VerletList) NeedsRebuild(pos []vec.V) bool {
-	if len(pos) != v.n || v.n == 0 {
+	if len(pos) != v.n || v.n == 0 || len(v.ref) != v.n {
 		return true
 	}
 	lim2 := v.Skin * v.Skin / 4
@@ -69,50 +156,109 @@ func (v *VerletList) NeedsRebuild(pos []vec.V) bool {
 }
 
 // NPairs returns the current buffered pair count.
-func (v *VerletList) NPairs() int { return len(v.pairs) }
+func (v *VerletList) NPairs() int { return v.npairs }
 
 // Compute evaluates the short-range interactions over the buffered list
 // (pairs beyond the true cutoff are skipped), accumulating forces into f.
-// Exclusions were applied at Rebuild time.
+// Exclusions were applied at Rebuild time. Parallel over slabs, bitwise
+// deterministic at any GOMAXPROCS, and allocation-free.
 func (v *VerletList) Compute(pos []vec.V, q []float64, lj *LJ, alpha float64, f []vec.V) Result {
-	var res Result
+	ns := v.ns
 	rc2 := v.Cutoff * v.Cutoff
-	for _, p := range v.pairs {
-		i, j := int(p.i), int(p.j)
+	if par.WorkersGrain(ns, 1) == 1 {
+		for s := 0; s < ns; s++ {
+			v.computeSlab(s, pos, q, lj, alpha, f, rc2)
+		}
+		if f != nil {
+			v.applyDeferred(f, 0, ns)
+		}
+	} else {
+		par.ForRangeGrain(ns, 1, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				v.computeSlab(s, pos, q, lj, alpha, f, rc2)
+			}
+		})
+		if f != nil {
+			par.ForRangeGrain(ns, 1, func(lo, hi int) {
+				v.applyDeferred(f, lo, hi)
+			})
+		}
+	}
+	var res Result
+	for s := 0; s < ns; s++ {
+		res.ECoul += v.part[s].eCoul
+		res.ELJ += v.part[s].eLJ
+		res.Pairs += v.part[s].pairs
+	}
+	return res
+}
+
+// computeSlab evaluates slab s's buckets: same-slab pairs update both
+// force entries, cross-slab pairs update the owned side and record the
+// reaction force for the target slab's deferred pass.
+func (v *VerletList) computeSlab(s int, pos []vec.V, q []float64, lj *LJ, alpha float64, f []vec.V, rc2 float64) {
+	p := &v.part[s]
+	*p = slabPartial{}
+	for _, pr := range v.same[s] {
+		i, j := int(pr.i), int(pr.j)
 		d := v.Box.MinImage(pos[i].Sub(pos[j]))
 		r2 := d.Norm2()
 		if r2 > rc2 {
 			continue
 		}
-		res.Pairs++
-		r := math.Sqrt(r2)
-		inv2 := 1 / r2
-		var fr float64
-		if qq := q[i] * q[j]; qq != 0 {
-			var e float64
-			if alpha > 0 {
-				e = qq * math.Erfc(alpha*r) / r * units.Coulomb
-				fr += (e + qq*units.Coulomb*alpha*twoOverSqrtPi*math.Exp(-alpha*alpha*r2)) * inv2
-			} else {
-				e = qq / r * units.Coulomb
-				fr += e * inv2
-			}
-			res.ECoul += e
-		}
-		if lj != nil && lj.Eps[i] != 0 && lj.Eps[j] != 0 {
-			eps := math.Sqrt(lj.Eps[i] * lj.Eps[j])
-			sig := 0.5 * (lj.Sigma[i] + lj.Sigma[j])
-			sr2 := sig * sig * inv2
-			sr6 := sr2 * sr2 * sr2
-			sr12 := sr6 * sr6
-			res.ELJ += 4 * eps * (sr12 - sr6)
-			fr += 24 * eps * (2*sr12 - sr6) * inv2
-		}
+		p.pairs++
+		eC, eLJ, fr := pairEval(q[i]*q[j], lj, i, j, alpha, r2)
+		p.eCoul += eC
+		p.eLJ += eLJ
 		if f != nil && fr != 0 {
 			fv := d.Scale(fr)
 			f[i] = f[i].Add(fv)
 			f[j] = f[j].Sub(fv)
 		}
 	}
-	return res
+	base := s * v.ns
+	for tgt := 0; tgt < v.ns; tgt++ {
+		if tgt == s {
+			continue
+		}
+		b := base + tgt
+		prs := v.cross[b]
+		dst := v.dfrc[b]
+		for k, pr := range prs {
+			var fv vec.V
+			i, j := int(pr.i), int(pr.j)
+			d := v.Box.MinImage(pos[i].Sub(pos[j]))
+			r2 := d.Norm2()
+			if r2 <= rc2 {
+				p.pairs++
+				eC, eLJ, fr := pairEval(q[i]*q[j], lj, i, j, alpha, r2)
+				p.eCoul += eC
+				p.eLJ += eLJ
+				if f != nil && fr != 0 {
+					fv = d.Scale(fr)
+					f[i] = f[i].Add(fv)
+				}
+			}
+			dst[k] = fv
+		}
+	}
+}
+
+// applyDeferred applies the reaction forces owed to target slabs
+// [mlo, mhi) in ascending source-slab order.
+func (v *VerletList) applyDeferred(f []vec.V, mlo, mhi int) {
+	ns := v.ns
+	for m := mlo; m < mhi; m++ {
+		for src := 0; src < ns; src++ {
+			if src == m {
+				continue
+			}
+			b := src*ns + m
+			prs := v.cross[b]
+			fr := v.dfrc[b]
+			for k := range prs {
+				f[prs[k].j] = f[prs[k].j].Sub(fr[k])
+			}
+		}
+	}
 }

@@ -72,6 +72,37 @@ func ForRangeGrain(n, grain int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// Concurrent reports whether more than one worker is available at all —
+// callers use it to pick a closure-free sequential path when parallelism
+// cannot help (keeping hot paths allocation-free on single-proc hosts).
+func Concurrent() bool {
+	return runtime.GOMAXPROCS(0) > 1
+}
+
+// Do runs the tasks concurrently, waiting for all of them; with a single
+// worker available they run sequentially in argument order. Tasks must
+// write disjoint state. Unlike ForRange this is for heterogeneous work —
+// e.g. overlapping the short-range pair loop with the long-range mesh
+// solve and the bonded terms of one force evaluation.
+func Do(tasks ...func()) {
+	if !Concurrent() || len(tasks) <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks) - 1)
+	for _, t := range tasks[1:] {
+		go func(t func()) {
+			defer wg.Done()
+			t()
+		}(t)
+	}
+	tasks[0]()
+	wg.Wait()
+}
+
 // Workers returns the number of workers ForRange would use for n items.
 func Workers(n int) int {
 	return WorkersGrain(n, minChunk)

@@ -1,6 +1,8 @@
 #!/bin/sh
 # Tier-1 gate: vet, build, full test suite, then the race detector over the
-# parallelized packages (grid ops, particle mesh, FFT, TME core, SPME, par).
+# parallelized packages (grid ops, particle mesh, FFT, TME core, SPME, par,
+# and the short-range stack: cell list, nonbond, md), and a one-iteration
+# benchmark smoke so the benchmarks themselves cannot rot.
 # Run from the repo root:  ./tier1.sh
 set -eux
 
@@ -8,4 +10,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
-	./internal/fft/ ./internal/spme/ ./internal/core/
+	./internal/fft/ ./internal/spme/ ./internal/core/ \
+	./internal/celllist/ ./internal/nonbond/
+go test -race -short ./internal/md/
+go test -run '^$' -bench . -benchtime 1x . ./internal/nonbond/ > /dev/null
