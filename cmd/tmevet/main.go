@@ -1,0 +1,133 @@
+// Command tmevet is the project's static analyzer. It enforces the
+// determinism, hot-path, and parallel-safety invariants of the simulation
+// code: no map-order iteration in numeric packages (detmap), no
+// wall-clock or global-random-source reads in simulation paths (noclock),
+// no allocation constructs in //tme:noalloc functions (noalloc), no
+// unpartitioned writes to captured state in par worker closures
+// (parwrite), and no exported mutable package-level state in numeric
+// packages (mutflag).
+//
+// Usage:
+//
+//	go run ./cmd/tmevet [-list] [packages]
+//
+// Packages follow the go tool's pattern syntax ("./...", "./internal/...",
+// a plain directory), resolved against the enclosing module. With no
+// arguments it analyzes "./...". Exit status is 1 when any diagnostic is
+// reported, 2 on usage or load errors.
+//
+// Findings are suppressed line-by-line with
+// "//tmevet:ignore <check>[,<check>...] -- rationale" on the offending
+// line or the line above. See DESIGN.md §7.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tme4a/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tmevet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-10s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmevet:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Patterns are given relative to the working directory; the loader
+	// wants them relative to the module root.
+	rel, err := rebase(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmevet:", err)
+		os.Exit(2)
+	}
+
+	diags, err := lint.Run(root, rel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmevet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if r, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			pos.Filename = r
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tmevet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// rebase converts working-directory-relative package patterns to
+// module-root-relative ones.
+func rebase(root string, patterns []string) ([]string, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(patterns))
+	for _, pat := range patterns {
+		suffix := ""
+		base := pat
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			suffix = "/..."
+			base = rest
+			if base == "" {
+				base = "."
+			}
+		}
+		abs := base
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, base)
+		}
+		r, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(r, "..") {
+			return nil, fmt.Errorf("package pattern %q lies outside the module at %s", pat, root)
+		}
+		out = append(out, filepath.ToSlash(r)+suffix)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package fft
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestPlan3SteadyStateAllocs gates the //tme:noalloc annotations on the
+// complex 3D path: after the plan cache and the row-scratch pool are
+// warm, repeated transforms of a fixed-size grid allocate nothing at
+// GOMAXPROCS=1 (the strided-line buffer is pooled, not remade per call).
+func TestPlan3SteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(7))
+	p := NewPlan3(16, 16, 16)
+	data := make([]complex128, p.Size())
+	for i := range data {
+		data[i] = complex(rng.Float64(), rng.Float64())
+	}
+
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	for i := 0; i < 3; i++ {
+		p.Forward(data)
+		p.Inverse(data)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		p.Forward(data)
+		p.Inverse(data)
+	})
+	// Budget 1 for sync.Pool repopulation after a GC mid-measurement.
+	if allocs > 1 {
+		t.Errorf("Plan3 Forward+Inverse allocates %.1f objects per step in steady state, want 0", allocs)
+	}
+}
+
+// TestRealPlan3SteadyStateAllocs gates the real-to-half-spectrum path
+// that the SPME reciprocal solve runs every step.
+func TestRealPlan3SteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(8))
+	p := NewRealPlan3(32, 16, 16)
+	data := make([]float64, p.Nx*p.Ny*p.Nz)
+	spec := make([]complex128, p.SpectrumLen())
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	for i := 0; i < 3; i++ {
+		p.Forward(data, spec)
+		p.Inverse(spec, data)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		p.Forward(data, spec)
+		p.Inverse(spec, data)
+	})
+	if allocs > 1 {
+		t.Errorf("RealPlan3 Forward+Inverse allocates %.1f objects per step in steady state, want 0", allocs)
+	}
+}

@@ -60,9 +60,13 @@ func (p *Plan) Len() int { return p.n }
 
 // Forward transforms x in place (unnormalised DFT). len(x) must equal the
 // plan length.
+//
+//tme:noalloc
 func (p *Plan) Forward(x []complex128) { p.transform(x, false) }
 
 // Inverse transforms x in place, including the 1/N normalisation.
+//
+//tme:noalloc
 func (p *Plan) Inverse(x []complex128) {
 	p.transform(x, true)
 	inv := 1 / float64(p.n)
@@ -71,6 +75,9 @@ func (p *Plan) Inverse(x []complex128) {
 	}
 }
 
+// transform runs the in-place iterative radix-2 butterflies.
+//
+//tme:noalloc
 func (p *Plan) transform(x []complex128, inverse bool) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("fft: data length %d does not match plan length %d", len(x), p.n))
@@ -125,39 +132,49 @@ func NewPlan3(nx, ny, nz int) *Plan3 {
 func (p *Plan3) Size() int { return p.Nx * p.Ny * p.Nz }
 
 // Forward computes the unnormalised 3D DFT of data in place.
+//
+//tme:noalloc
 func (p *Plan3) Forward(data []complex128) { p.transform3(data, false) }
 
 // Inverse computes the normalised (÷N³ total) inverse 3D DFT in place.
+//
+//tme:noalloc
 func (p *Plan3) Inverse(data []complex128) { p.transform3(data, true) }
 
+// transform3 applies the three 1D passes with a pooled strided-line
+// buffer, so repeated transforms of a fixed-size grid allocate nothing.
+//
+//tme:noalloc
 func (p *Plan3) transform3(data []complex128, inverse bool) {
 	if len(data) != p.Size() {
 		panic(fmt.Sprintf("fft: data length %d does not match 3D plan size %d", len(data), p.Size()))
 	}
 	nx, ny, nz := p.Nx, p.Ny, p.Nz
-	apply1 := func(pl *Plan, row []complex128) {
-		if inverse {
-			pl.Inverse(row)
-		} else {
-			pl.Forward(row)
-		}
-	}
 	// x-lines are contiguous.
 	for z := 0; z < nz; z++ {
 		for y := 0; y < ny; y++ {
 			off := nx * (y + ny*z)
-			apply1(p.px, data[off:off+nx])
+			if inverse {
+				p.px.Inverse(data[off : off+nx])
+			} else {
+				p.px.Forward(data[off : off+nx])
+			}
 		}
 	}
 	// y-lines have stride nx.
-	row := make([]complex128, max(ny, nz))
+	rp := getCBuf(max(ny, nz))
+	row := *rp
 	for z := 0; z < nz; z++ {
 		for x := 0; x < nx; x++ {
 			base := x + nx*ny*z
 			for y := 0; y < ny; y++ {
 				row[y] = data[base+nx*y]
 			}
-			apply1(p.py, row[:ny])
+			if inverse {
+				p.py.Inverse(row[:ny])
+			} else {
+				p.py.Forward(row[:ny])
+			}
 			for y := 0; y < ny; y++ {
 				data[base+nx*y] = row[y]
 			}
@@ -170,12 +187,17 @@ func (p *Plan3) transform3(data []complex128, inverse bool) {
 			for z := 0; z < nz; z++ {
 				row[z] = data[base+nx*ny*z]
 			}
-			apply1(p.pz, row[:nz])
+			if inverse {
+				p.pz.Inverse(row[:nz])
+			} else {
+				p.pz.Forward(row[:nz])
+			}
 			for z := 0; z < nz; z++ {
 				data[base+nx*ny*z] = row[z]
 			}
 		}
 	}
+	cbufPool.Put(rp)
 }
 
 func max(a, b int) int {

@@ -13,10 +13,11 @@ import (
 // allocate nothing in steady state.
 var cbufPool = sync.Pool{New: func() interface{} { return new([]complex128) }}
 
+//tme:noalloc
 func getCBuf(n int) *[]complex128 {
 	p := cbufPool.Get().(*[]complex128)
 	if cap(*p) < n {
-		*p = make([]complex128, n)
+		*p = make([]complex128, n) //tmevet:ignore noalloc -- grow-once: reused via cbufPool in steady state
 	}
 	*p = (*p)[:n]
 	return p
@@ -62,6 +63,8 @@ func (p *RealPlan) Len() int { return p.n }
 
 // Forward computes the half spectrum of the n real samples into dst
 // (length n/2+1). scratch must have length ≥ n/2.
+//
+//tme:noalloc
 func (p *RealPlan) Forward(src []float64, dst, scratch []complex128) {
 	n := p.n
 	h := n / 2
@@ -93,6 +96,8 @@ func (p *RealPlan) Forward(src []float64, dst, scratch []complex128) {
 
 // Inverse reconstructs n real samples from the half spectrum src (length
 // n/2+1), including the 1/n normalization. scratch must have length ≥ n/2.
+//
+//tme:noalloc
 func (p *RealPlan) Inverse(src []complex128, dst []float64, scratch []complex128) {
 	n := p.n
 	h := n / 2
@@ -144,6 +149,8 @@ func (p *RealPlan3) SpectrumLen() int { return p.Hx * p.Ny * p.Nz }
 
 // Forward computes the half spectrum of real data (length nx·ny·nz) into
 // spec (length SpectrumLen), indexed kx + Hx·(ky + Ny·kz).
+//
+//tme:noalloc
 func (p *RealPlan3) Forward(data []float64, spec []complex128) {
 	nx, ny, nz, hx := p.Nx, p.Ny, p.Nz, p.Hx
 	if len(data) != nx*ny*nz || len(spec) != p.SpectrumLen() {
@@ -173,6 +180,8 @@ func (p *RealPlan3) Forward(data []float64, spec []complex128) {
 
 // xPass runs the r2c (forward) or c2r (inverse) x-transform on rows
 // [lo, hi) with pooled scratch.
+//
+//tme:noalloc
 func (p *RealPlan3) xPass(data []float64, spec []complex128, inverse bool, lo, hi int) {
 	nx, hx := p.Nx, p.Hx
 	sp := getCBuf(nx / 2)
@@ -190,6 +199,8 @@ func (p *RealPlan3) xPass(data []float64, spec []complex128, inverse bool, lo, h
 
 // yPass transforms the y-lines (stride hx) indexed by columns [lo, hi)
 // over (x, z).
+//
+//tme:noalloc
 func (p *RealPlan3) yPass(spec []complex128, inverse bool, lo, hi int) {
 	ny, hx := p.Ny, p.Hx
 	rp := getCBuf(ny)
@@ -214,6 +225,8 @@ func (p *RealPlan3) yPass(spec []complex128, inverse bool, lo, hi int) {
 
 // zPass transforms the z-lines (stride hx·ny) indexed by columns [lo, hi)
 // over (x, y).
+//
+//tme:noalloc
 func (p *RealPlan3) zPass(spec []complex128, inverse bool, lo, hi int) {
 	ny, nz, hx := p.Ny, p.Nz, p.Hx
 	rp := getCBuf(nz)
@@ -238,6 +251,8 @@ func (p *RealPlan3) zPass(spec []complex128, inverse bool, lo, hi int) {
 
 // Inverse reconstructs real data from the half spectrum (normalized).
 // spec is modified in place.
+//
+//tme:noalloc
 func (p *RealPlan3) Inverse(spec []complex128, data []float64) {
 	nx, ny, nz, hx := p.Nx, p.Ny, p.Nz, p.Hx
 	if len(data) != nx*ny*nz || len(spec) != p.SpectrumLen() {

@@ -195,10 +195,11 @@ var axisCache sync.Map
 // indirection keeps Get/Put allocation-free in steady state.
 var linePool = sync.Pool{New: func() interface{} { return new([]float64) }}
 
+//tme:noalloc
 func getLine(n int) *[]float64 {
 	p := linePool.Get().(*[]float64)
 	if cap(*p) < n {
-		*p = make([]float64, n)
+		*p = make([]float64, n) //tmevet:ignore noalloc -- grow-once: reused via linePool in steady state
 	}
 	*p = (*p)[:n]
 	return p
@@ -224,6 +225,7 @@ func ConvAxis(dst, src *G, axis int, kernel []float64) {
 	convAxis(dst, src, axis, kernel, false)
 }
 
+//tme:noalloc
 func convAxis(dst, src *G, axis int, kernel []float64, accum bool) {
 	if dst.N != src.N {
 		panic("grid: ConvAxis shape mismatch")
@@ -245,6 +247,8 @@ func convAxis(dst, src *G, axis int, kernel []float64, accum bool) {
 }
 
 // convLines is the per-worker kernel of convAxis over lines [lo, hi).
+//
+//tme:noalloc
 func convLines(dst, src *G, kernel []float64, n, stride int, bases []int, lo, hi int, accum bool) {
 	gc := len(kernel) / 2
 	// Per-worker scratch: the line padded with gc wrapped ghost cells on
@@ -288,6 +292,8 @@ func ConvSeparable(src *G, kx, ky, kz []float64) *G {
 // ConvSeparableInto computes the separable convolution into dst using tmp
 // as scratch. dst, src and tmp must have equal shapes and must not alias
 // each other.
+//
+//tme:noalloc
 func ConvSeparableInto(dst, src *G, kx, ky, kz []float64, tmp *G) {
 	convAxis(dst, src, 0, kx, false)
 	convAxis(tmp, dst, 1, ky, false)
@@ -299,6 +305,8 @@ func ConvSeparableInto(dst, src *G, kx, ky, kz []float64, tmp *G) {
 // have equal shapes; dst, t1 and t2 must be pairwise distinct and distinct
 // from src. This is the fused form core.Solver uses to sum the M Gaussian
 // terms of a TME level into one output grid with zero allocations.
+//
+//tme:noalloc
 func ConvSeparableAccum(dst, src *G, kx, ky, kz []float64, t1, t2 *G) {
 	convAxis(t1, src, 0, kx, false)
 	convAxis(t2, t1, 1, ky, false)

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detmap flags `range` over a map in the numeric packages. Go randomizes
+// map iteration order, so any floating-point accumulation, force write, or
+// even output ordering fed from such a loop varies between runs — exactly
+// the nondeterminism the slab/chunk-partitioned designs of PRs 1–2 exist
+// to exclude. Iterate a sorted key slice instead; if the loop provably
+// cannot influence numeric state (e.g. draining a free pool), suppress
+// with //tmevet:ignore detmap and a rationale.
+var detmapCheck = &Check{
+	Name: "detmap",
+	Doc:  "range over a map type in a numeric package (nondeterministic iteration order)",
+	Run:  runDetmap,
+}
+
+func runDetmap(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				diags = append(diags, p.diag(rs.Pos(), "detmap",
+					"range over map %s iterates in nondeterministic order; range over a sorted key slice instead",
+					types.TypeString(tv.Type, types.RelativeTo(p.Pkg))))
+			}
+			return true
+		})
+	}
+	return diags
+}

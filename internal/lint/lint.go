@@ -1,0 +1,230 @@
+// Package lint implements tmevet, the project's static analyzer. It
+// enforces, at review time, the invariants PRs 1–2 established at runtime:
+// bitwise-deterministic results at any GOMAXPROCS, allocation-free
+// steady-state hot paths, and slab/owner-partitioned parallel writes.
+//
+// The analyzer is stdlib-only (go/parser + go/types with the from-source
+// importer) so it runs on a bare checkout. Each check lives in its own
+// file and is individually suppressible with a line-scoped
+// "//tmevet:ignore <check>[,<check>...] -- rationale" comment on the
+// offending line or the line above. The noalloc check is opt-in per
+// function via the "//tme:noalloc" doc directive.
+//
+// See DESIGN.md §7.3 for the check catalog and the suppression policy.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Check is one named invariant detector.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// checks is the registry, ordered for stable output.
+var checks = []*Check{
+	detmapCheck,
+	mutflagCheck,
+	noallocCheck,
+	noclockCheck,
+	parwriteCheck,
+}
+
+// Checks returns the registered checks in name order.
+func Checks() []*Check { return checks }
+
+// ByName returns the named check, or nil.
+func ByName(name string) *Check {
+	for _, c := range checks {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// numericPkgs are the module-relative directories whose floating-point
+// results must be bitwise reproducible: the mesh pipeline, the short-range
+// stack, and every force/integration module (ISSUE 3). detmap and mutflag
+// apply only here; noalloc and parwrite are annotation/usage driven and
+// run everywhere.
+var numericPkgs = map[string]bool{
+	"internal/grid":       true,
+	"internal/pmesh":      true,
+	"internal/spme":       true,
+	"internal/core":       true,
+	"internal/msm":        true,
+	"internal/ewald":      true,
+	"internal/nonbond":    true,
+	"internal/celllist":   true,
+	"internal/md":         true,
+	"internal/fft":        true,
+	"internal/bonded":     true,
+	"internal/constraint": true,
+}
+
+// noclockExempt are packages where wall-clock reads are the point
+// (experiment harnesses time themselves) or meaningless (the analyzer).
+var noclockExempt = map[string]bool{
+	"internal/expt": true,
+	"internal/lint": true,
+}
+
+const fixturePrefix = "internal/lint/testdata/src/"
+
+// checksFor maps a module-relative package directory to the checks that
+// apply to it. Golden fixture packages select the single check named by
+// their directory, so each fixture exercises exactly its own check.
+func checksFor(rel string) []*Check {
+	if rest, ok := strings.CutPrefix(rel, fixturePrefix); ok {
+		name, _, _ := strings.Cut(rest, "/")
+		if c := ByName(name); c != nil {
+			return []*Check{c}
+		}
+		return nil // support packages for fixtures, e.g. the par stub
+	}
+	if strings.Contains(rel, "testdata") {
+		return nil
+	}
+	var cs []*Check
+	if numericPkgs[rel] {
+		cs = append(cs, detmapCheck, mutflagCheck)
+	}
+	if strings.HasPrefix(rel, "internal/") && !noclockExempt[rel] {
+		cs = append(cs, noclockCheck)
+	}
+	cs = append(cs, noallocCheck, parwriteCheck)
+	return cs
+}
+
+// Run loads the packages matching patterns (relative to the module root)
+// and returns every unsuppressed diagnostic, sorted by position. Type
+// errors are reported as "typecheck" diagnostics: the analyzer refuses to
+// pass silently on code it could not fully resolve.
+func Run(root string, patterns []string) ([]Diagnostic, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		p, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, terr := range p.TypeErrors {
+			pos := token.Position{Filename: p.Dir}
+			if te, ok := terr.(types.Error); ok {
+				pos = te.Fset.Position(te.Pos)
+			}
+			diags = append(diags, Diagnostic{Pos: pos, Check: "typecheck", Message: terr.Error()})
+		}
+		for _, c := range checksFor(p.Rel) {
+			for _, d := range c.Run(p) {
+				if !p.suppressed(d.Check, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+// diag builds a Diagnostic at a node position.
+func (p *Package) diag(pos token.Pos, check, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// useOf resolves an identifier to its object via Uses then Defs.
+func (p *Package) useOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// pkgNameOf returns the imported package a selector base refers to, or
+// nil if the base is not a package identifier.
+func (p *Package) pkgNameOf(expr ast.Expr) *types.Package {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := p.useOf(id).(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// parFuncs are the worker-pool entry points whose closure arguments the
+// parwrite and noalloc checks treat specially.
+var parFuncs = map[string]bool{
+	"For":           true,
+	"ForRange":      true,
+	"ForRangeGrain": true,
+	"Do":            true,
+	"SumFloat64":    true,
+}
+
+// parCallee reports whether call invokes one of the par package's loop
+// helpers, returning the helper name. The par package is matched by
+// import-path suffix so the testdata stub package qualifies too.
+func (p *Package) parCallee(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg := p.pkgNameOf(sel.X)
+	if pkg == nil {
+		return "", false
+	}
+	path := pkg.Path()
+	if path != "par" && !strings.HasSuffix(path, "/par") {
+		return "", false
+	}
+	if !parFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

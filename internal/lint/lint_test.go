@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts golden expectations: a trailing `// want "regexp"`
+// comment on the line a diagnostic must be reported at.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants parses every fixture file of dir for want comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", path, m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: path, line: pos.Line, re: pat})
+			}
+		}
+	}
+	return wants
+}
+
+// TestGoldenFixtures runs each check against its testdata/src/<check>
+// fixture package and matches the diagnostics (after suppression) against
+// the // want expectations, both ways: every want must be hit, and every
+// diagnostic must be wanted.
+func TestGoldenFixtures(t *testing.T) {
+	root := moduleRoot(t)
+	fixRoot := filepath.Join(root, "internal", "lint", "testdata", "src")
+	ents, err := os.ReadDir(fixRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range ents {
+		if !e.IsDir() || ByName(e.Name()) == nil {
+			continue // support packages like the par stub
+		}
+		ran++
+		t.Run(e.Name(), func(t *testing.T) {
+			dir := filepath.Join(fixRoot, e.Name())
+			diags, err := Run(root, []string{"internal/lint/testdata/src/" + e.Name()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := collectWants(t, dir)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want expectations", e.Name())
+			}
+		Diags:
+			for _, d := range diags {
+				if d.Check != e.Name() {
+					t.Errorf("fixture %s produced a diagnostic from check %s: %s", e.Name(), d.Check, d)
+					continue
+				}
+				for _, w := range wants {
+					if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						continue Diags
+					}
+				}
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+	if ran != len(Checks()) {
+		t.Errorf("ran %d fixture packages, want one per check (%d)", ran, len(Checks()))
+	}
+}
+
+// TestFixturesFailViaDriverPatterns pins the acceptance criterion that
+// the fixture tree as a whole produces findings (tmevet must exit
+// non-zero on it).
+func TestFixturesFailViaDriverPatterns(t *testing.T) {
+	root := moduleRoot(t)
+	diags, err := Run(root, []string{"internal/lint/testdata/src/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture tree produced no diagnostics")
+	}
+	perCheck := map[string]int{}
+	for _, d := range diags {
+		perCheck[d.Check]++
+	}
+	for _, c := range Checks() {
+		if perCheck[c.Name] == 0 {
+			t.Errorf("check %s produced no fixture diagnostics", c.Name)
+		}
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

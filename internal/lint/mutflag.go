@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// mutflag flags exported package-level variables in the numeric packages.
+// An exported mutable global invites callers (and future PRs) to tweak
+// solver behaviour out-of-band, which silently breaks run-to-run
+// reproducibility and makes results depend on initialization order.
+// Export a constant, take the value as a parameter, or unexport the
+// variable (unexported state like plan caches and sync.Pools stays under
+// the package's own locking discipline and is fine).
+var mutflagCheck = &Check{
+	Name: "mutflag",
+	Doc:  "exported package-level var in a numeric package (mutable global state)",
+	Run:  runMutflag,
+}
+
+func runMutflag(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.IsExported() {
+						diags = append(diags, p.diag(name.Pos(), "mutflag",
+							"exported package-level variable %s is mutable global state; unexport it, make it a constant, or pass it as a parameter", name.Name))
+					}
+				}
+			}
+		}
+	}
+	return diags
+}

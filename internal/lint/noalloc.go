@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// noalloc enforces the steady-state zero-allocation contract on functions
+// annotated with a "//tme:noalloc" doc directive (the hot paths of the
+// mesh pipeline and short-range engine from PRs 1–2). Inside an annotated
+// function it flags the syntactic allocation sources:
+//
+//   - make, new, and append calls (append may grow its backing array);
+//   - composite literals of slice or map type, and any composite literal
+//     whose address is taken (escape risk);
+//   - closure literals, except those passed directly to a par.* worker
+//     helper — the one sanctioned closure (it is only materialized on the
+//     multi-worker path, which the callers gate behind par.WorkersGrain);
+//   - go statements (goroutine launch allocates; use par).
+//
+// Type info whitelists the non-escaping cases: plain struct and array
+// value literals (vec.V{...} and friends live on the stack). The check is
+// intentionally not interprocedural — callees must carry their own
+// annotation — and testing.AllocsPerRun gates remain the runtime
+// backstop. Guarded grow-once paths ("if cap(buf) < n { buf = make... }")
+// are legitimate; suppress those lines explicitly with
+// //tmevet:ignore noalloc -- grow-once.
+var noallocCheck = &Check{
+	Name: "noalloc",
+	Doc:  "allocation construct inside a //tme:noalloc annotated function",
+	Run:  runNoalloc,
+}
+
+// noallocDirective marks a function as a steady-state zero-allocation
+// path.
+const noallocDirective = "//tme:noalloc"
+
+func hasNoallocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == noallocDirective || strings.HasPrefix(c.Text, noallocDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoalloc(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocDirective(fd) {
+				continue
+			}
+			diags = append(diags, p.checkNoallocBody(fd)...)
+		}
+	}
+	return diags
+}
+
+func (p *Package) checkNoallocBody(fd *ast.FuncDecl) []Diagnostic {
+	// First pass: closures handed directly to par.* helpers are the
+	// sanctioned parallel-dispatch pattern; composite literals under & are
+	// heap-escape risks even for struct types.
+	parClosures := map[*ast.FuncLit]bool{}
+	addressed := map[*ast.CompositeLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, ok := p.parCallee(n); ok {
+				for _, arg := range n.Args {
+					if fl, ok := arg.(*ast.FuncLit); ok {
+						parClosures[fl] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				addressed[cl] = true
+			}
+		}
+		return true
+	})
+
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if id := receiverTypeName(fd.Recv.List[0].Type); id != "" {
+			name = id + "." + name
+		}
+	}
+
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := p.useOf(id).(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new":
+						diags = append(diags, p.diag(n.Pos(), "noalloc",
+							"%s in //tme:noalloc function %s allocates; preallocate or pool the buffer", b.Name(), name))
+					case "append":
+						diags = append(diags, p.diag(n.Pos(), "noalloc",
+							"append in //tme:noalloc function %s may grow its backing array; size the buffer at rebuild time", name))
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[n]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				diags = append(diags, p.diag(n.Pos(), "noalloc",
+					"%s literal in //tme:noalloc function %s allocates", types.TypeString(tv.Type, types.RelativeTo(p.Pkg)), name))
+			default:
+				if addressed[n] {
+					diags = append(diags, p.diag(n.Pos(), "noalloc",
+						"&%s literal in //tme:noalloc function %s risks a heap allocation", types.TypeString(tv.Type, types.RelativeTo(p.Pkg)), name))
+				}
+			}
+		case *ast.FuncLit:
+			if !parClosures[n] {
+				diags = append(diags, p.diag(n.Pos(), "noalloc",
+					"closure literal in //tme:noalloc function %s may allocate; only closures passed directly to par.* are exempt", name))
+			}
+		case *ast.GoStmt:
+			diags = append(diags, p.diag(n.Pos(), "noalloc",
+				"go statement in //tme:noalloc function %s allocates a goroutine; dispatch through par instead", name))
+		}
+		return true
+	})
+	return diags
+}
+
+// receiverTypeName extracts the receiver's type identifier for messages.
+func receiverTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(t.X)
+	}
+	return ""
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noclock flags wall-clock reads and global-random-source draws inside
+// simulation packages. A trajectory must be a pure function of its inputs
+// and seeds; time.Now and the math/rand package-level functions (which
+// share a randomly-seeded global source) both smuggle in ambient state.
+// Timing belongs in the experiment harnesses (internal/expt, benchmarks)
+// and randomness must flow through an explicitly seeded *rand.Rand.
+// Test files are exempt by construction: the analyzer only loads non-test
+// sources.
+var noclockCheck = &Check{
+	Name: "noclock",
+	Doc:  "time.Now or math/rand global-source call in a simulation path",
+	Run:  runNoclock,
+}
+
+// randConstructors are the math/rand (and rand/v2) functions that do NOT
+// touch the global source: they build explicitly seeded generators, which
+// is precisely the sanctioned pattern.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // rand/v2
+	"NewChaCha8": true, // rand/v2
+}
+
+func runNoclock(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := p.pkgNameOf(sel.X)
+			if pkg == nil {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkg.Path() {
+			case "time":
+				if name == "Now" || name == "Since" || name == "Until" {
+					diags = append(diags, p.diag(call.Pos(), "noclock",
+						"time.%s makes simulation results depend on wall-clock state; time at the harness level instead", name))
+				}
+			case "math/rand", "math/rand/v2":
+				// Only package-level functions draw from the global
+				// source; methods on an explicit *rand.Rand are fine.
+				fn, ok := p.useOf(sel.Sel).(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if !randConstructors[name] {
+					diags = append(diags, p.diag(call.Pos(), "noclock",
+						"%s.%s draws from the global random source; thread an explicitly seeded *rand.Rand instead", pkg.Name(), name))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestRepoIsClean is the self-check: the analyzer must run clean over the
+// whole module, i.e. `go run ./cmd/tmevet ./...` exits 0. Any new finding
+// must be fixed or carry an explicit, justified //tmevet:ignore.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	diags, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings or suppress with //tmevet:ignore <check> -- rationale (see DESIGN.md §7.3)")
+	}
+}
+
+// TestSuppressionRequiresNamedCheck pins the suppression grammar: a bare
+// ignore comment (no check name) must not suppress anything.
+func TestSuppressionRequiresNamedCheck(t *testing.T) {
+	p := &Package{}
+	p.ignores = map[string]map[int][]string{}
+	if p.suppressed("detmap", diagAt("f.go", 3)) {
+		t.Fatal("empty ignore table suppressed a diagnostic")
+	}
+	p.ignores["f.go"] = map[int][]string{3: nil} // "//tmevet:ignore" with no names
+	if p.suppressed("detmap", diagAt("f.go", 3)) {
+		t.Fatal("bare //tmevet:ignore must not suppress; the check must be named")
+	}
+	p.ignores["f.go"][3] = []string{"detmap"}
+	if !p.suppressed("detmap", diagAt("f.go", 3)) {
+		t.Fatal("named ignore on the same line must suppress")
+	}
+	if !p.suppressed("detmap", diagAt("f.go", 4)) {
+		t.Fatal("named ignore on the line above must suppress")
+	}
+	if p.suppressed("detmap", diagAt("f.go", 5)) {
+		t.Fatal("ignore must not leak two lines down")
+	}
+	if p.suppressed("noclock", diagAt("f.go", 3)) {
+		t.Fatal("ignore must not cover other checks")
+	}
+}
+
+func diagAt(file string, line int) (pos token.Position) {
+	pos.Filename = file
+	pos.Line = line
+	return pos
+}

@@ -1,0 +1,45 @@
+// Package detmap exercises the detmap check: every range over a map type
+// must be flagged; ranges over slices, channels, and integers must not.
+package detmap
+
+import "sort"
+
+// weights is a named map type — the underlying type decides.
+type weights map[string]float64
+
+func sumMap(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map map\[int\]float64 iterates in nondeterministic order"
+		s += v
+	}
+	return s
+}
+
+func keysOnly(m weights) int {
+	n := 0
+	for k := range m { // want "range over map weights iterates in nondeterministic order"
+		_ = k
+		n++
+	}
+	return n
+}
+
+func sortedKeys(m weights) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //tmevet:ignore detmap -- keys are sorted below before any numeric use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func overSlice(xs []float64) float64 {
+	var s float64
+	for _, v := range xs { // slices iterate in index order: no finding
+		s += v
+	}
+	for i := range 3 { // integer range: no finding
+		s += float64(i)
+	}
+	return s
+}

@@ -1,0 +1,19 @@
+// Package mutflag exercises the mutflag check: exported package-level
+// vars are flagged; unexported vars, constants, and suppressed lines are
+// not.
+package mutflag
+
+// Tunable is the classic offender: callers can flip solver behaviour
+// out-of-band.
+var Tunable = 1.5 // want "exported package-level variable Tunable is mutable global state"
+
+var (
+	inner   = 2         // unexported: no finding
+	Another = []int{1}  // want "exported package-level variable Another is mutable global state"
+	Legacy  = "default" //tmevet:ignore mutflag -- demo suppression
+)
+
+// MaxOrder is immutable: no finding.
+const MaxOrder = 16
+
+func use() (int, float64, string) { return inner, Tunable, Legacy }

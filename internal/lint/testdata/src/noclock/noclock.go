@@ -1,0 +1,40 @@
+// Package noclock exercises the noclock check: wall-clock reads and
+// global-random-source draws are flagged; explicitly seeded generators
+// and *rand.Rand methods are not.
+package noclock
+
+import (
+	"math/rand"
+	stdtime "time"
+)
+
+func stamp() int64 {
+	t := stdtime.Now() // want "time.Now makes simulation results depend on wall-clock state"
+	return t.UnixNano()
+}
+
+func elapsed(t0 stdtime.Time) stdtime.Duration {
+	return stdtime.Since(t0) // want "time.Since makes simulation results depend on wall-clock state"
+}
+
+func globalDraws() float64 {
+	x := rand.Float64()                // want "rand.Float64 draws from the global random source"
+	n := rand.Intn(7)                  // want "rand.Intn draws from the global random source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the global random source"
+	return x + float64(n)
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are the sanctioned pattern: no finding
+	return rng.Float64()                  // method on explicit *rand.Rand: no finding
+}
+
+func suppressed() float64 {
+	return rand.Float64() //tmevet:ignore noclock -- demo of the suppression grammar
+}
+
+func notTheRealTime() {
+	// A local identifier named "time" must not confuse the resolver.
+	time := struct{ Now func() int }{Now: func() int { return 0 }}
+	_ = time.Now()
+}

@@ -1,0 +1,34 @@
+// Package par is a stub of tme4a/internal/par for the lint golden
+// fixtures: the parwrite and noalloc checks match the par package by
+// import-path suffix, so fixtures can exercise them without importing the
+// real worker pool.
+package par
+
+// For mirrors par.For.
+func For(n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
+// ForRange mirrors par.ForRange.
+func ForRange(n int, body func(lo, hi int)) { body(0, n) }
+
+// ForRangeGrain mirrors par.ForRangeGrain.
+func ForRangeGrain(n, grain int, body func(lo, hi int)) { body(0, n) }
+
+// Do mirrors par.Do.
+func Do(tasks ...func()) {
+	for _, t := range tasks {
+		t()
+	}
+}
+
+// SumFloat64 mirrors par.SumFloat64.
+func SumFloat64(n int, body func(i int) float64) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += body(i)
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+// Package parwrite exercises the parwrite check: chunked worker closures
+// must not assign captured variables except through element indices, and
+// par.Do tasks must touch pairwise-disjoint captured state.
+package parwrite
+
+import "tme4a/internal/lint/testdata/src/par"
+
+type accum struct {
+	total float64
+	part  []float64
+}
+
+func raceyReduction(xs []float64) float64 {
+	var sum float64
+	par.ForRange(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // want "closure passed to par.ForRange writes captured variable \"sum\""
+		}
+	})
+	return sum
+}
+
+func raceyCounter(n int) int {
+	count := 0
+	par.For(n, func(i int) {
+		count++ // want "closure passed to par.For writes captured variable \"count\""
+	})
+	return count
+}
+
+func partitionedWrites(a *accum, xs []float64) {
+	par.ForRange(len(xs), func(lo, hi int) {
+		local := 0.0 // locals are fine
+		for i := lo; i < hi; i++ {
+			local += xs[i]
+			a.part[i] = xs[i] // element write through an index: no finding
+		}
+		_ = local
+	})
+}
+
+func raceyPointer(out *float64, n int) {
+	par.ForRangeGrain(n, 1, func(lo, hi int) {
+		*out = float64(hi) // want "closure passed to par.ForRangeGrain writes captured variable \"out\""
+	})
+}
+
+func disjointDo(a, b *accum) (x, y float64) {
+	par.Do(
+		func() { x = a.part[0] }, // each task writes its own result: no finding
+		func() { y = b.part[0] },
+	)
+	return x, y
+}
+
+func overlappingDo(a *accum) float64 {
+	var t float64
+	par.Do(
+		func() { t = a.part[0] },   // want "par.Do task writes captured variable \"t\" that a sibling task also touches"
+		func() { a.total = t + 1 }, // want "par.Do task writes captured variable \"a\" that a sibling task also touches"
+	)
+	return t
+}
+
+func suppressedWrite(n int) int {
+	last := 0
+	par.For(n, func(i int) {
+		last = i //tmevet:ignore parwrite -- demo: any worker's value is acceptable here
+	})
+	return last
+}

@@ -122,6 +122,8 @@ func (ff *ForceField) compute(sys *System, doMesh bool) Energies {
 // computeTermsParallel overlaps the three force terms on the worker pool,
 // the software analogue of MDGRAPE-4A's nonbond pipelines, LRU and GP
 // cores working the same step concurrently.
+//
+//tme:noalloc
 func (ff *ForceField) computeTermsParallel(sys *System, doMesh bool) (nonbond.Result, float64) {
 	var res nonbond.Result
 	var eBonded float64
@@ -192,6 +194,8 @@ func (ff *ForceField) bondedTerm(sys *System) float64 {
 // merge folds the term buffers into sys.Frc. Per atom the association
 // order is fixed (short-range + mesh + bonded), so the merge is bitwise
 // identical at any worker count.
+//
+//tme:noalloc
 func (ff *ForceField) merge(sys *System) {
 	mesh := ff.Mesh != nil
 	bond := ff.Bonded != nil
@@ -208,6 +212,7 @@ func (ff *ForceField) merge(sys *System) {
 	}
 }
 
+//tme:noalloc
 func (ff *ForceField) mergeRange(sys *System, lo, hi int, mesh, bond bool) {
 	for i := lo; i < hi; i++ {
 		fi := sys.Frc[i]

@@ -31,6 +31,8 @@ type Integrator struct {
 
 // Step advances the system by one time step and returns the energies
 // evaluated at the new positions.
+//
+//tme:noalloc
 func (in *Integrator) Step(sys *System) Energies {
 	if !in.initialized {
 		in.lastE = in.FF.Compute(sys)
@@ -44,7 +46,7 @@ func (in *Integrator) Step(sys *System) Energies {
 	}
 	if sys.WaterModel != nil && len(sys.RigidWaters) > 0 {
 		if len(in.old) != 3*len(sys.RigidWaters) {
-			in.old = make([]vec.V, 3*len(sys.RigidWaters))
+			in.old = make([]vec.V, 3*len(sys.RigidWaters)) //tmevet:ignore noalloc -- grow-once on first step / atom-count change
 		}
 		for wi, w := range sys.RigidWaters {
 			for k := 0; k < 3; k++ {

@@ -1,10 +1,12 @@
 package md
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"tme4a/internal/vec"
 )
@@ -44,7 +46,61 @@ func (s *System) Restore(snap *Snapshot) error {
 	return nil
 }
 
-// Encode serializes the snapshot with encoding/gob.
+// snapshotWire is the on-disk form. Meta travels as parallel key/value
+// slices in sorted key order: gob serializes maps in Go's randomized
+// iteration order, so encoding the map directly makes two snapshots of
+// the same state differ byte-wise between runs — a determinism leak
+// tmevet's detmap check guards against in code and this wire form closes
+// at the serialization boundary.
+type snapshotWire struct {
+	Box      vec.Box
+	Pos      []vec.V
+	Vel      []vec.V
+	MetaKeys []string
+	MetaVals []int64
+}
+
+// GobEncode implements gob.GobEncoder with byte-deterministic output.
+func (snap *Snapshot) GobEncode() ([]byte, error) {
+	w := snapshotWire{Box: snap.Box, Pos: snap.Pos, Vel: snap.Vel}
+	w.MetaKeys = make([]string, 0, len(snap.Meta))
+	for k := range snap.Meta { //tmevet:ignore detmap -- keys are sorted below before anything observes the order
+		w.MetaKeys = append(w.MetaKeys, k)
+	}
+	sort.Strings(w.MetaKeys)
+	w.MetaVals = make([]int64, len(w.MetaKeys))
+	for i, k := range w.MetaKeys {
+		w.MetaVals[i] = snap.Meta[k]
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder for the wire form above.
+func (snap *Snapshot) GobDecode(data []byte) error {
+	var w snapshotWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	snap.Box, snap.Pos, snap.Vel = w.Box, w.Pos, w.Vel
+	snap.Meta = nil
+	if len(w.MetaKeys) > 0 {
+		if len(w.MetaVals) != len(w.MetaKeys) {
+			return fmt.Errorf("md: corrupt snapshot meta: %d keys, %d values", len(w.MetaKeys), len(w.MetaVals))
+		}
+		snap.Meta = make(map[string]int64, len(w.MetaKeys))
+		for i, k := range w.MetaKeys {
+			snap.Meta[k] = w.MetaVals[i]
+		}
+	}
+	return nil
+}
+
+// Encode serializes the snapshot with encoding/gob. The byte stream is a
+// pure function of the snapshot contents (see snapshotWire).
 func (snap *Snapshot) Encode(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(snap)
 }

@@ -40,6 +40,52 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotEncodingIsByteDeterministic is the regression test for the
+// determinism finding behind snapshotWire: gob serializes maps in
+// randomized iteration order, so encoding Meta as a map made two
+// snapshots of identical state differ byte-wise between runs. The wire
+// form carries Meta as sorted key/value slices; identical state must now
+// produce identical bytes, every time.
+func TestSnapshotEncodingIsByteDeterministic(t *testing.T) {
+	box := water.CubicBoxFor(8)
+	sys := water.Build(2, 2, 2, box, 11)
+	sys.InitVelocities(300, rand.New(rand.NewSource(2)))
+	// Enough keys that randomized map order would almost surely differ
+	// between two encodings (8! orderings).
+	meta := map[string]int64{
+		"side": 2, "seed": 11, "a": 1, "b": 2, "c": 3, "d": 4, "e": 5, "f": 6,
+	}
+	var first bytes.Buffer
+	if err := sys.TakeSnapshot(meta).Encode(&first); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		// Rebuild the map so its internal layout (and hence gob's
+		// would-be iteration order) varies between trials.
+		m := make(map[string]int64, len(meta))
+		for k, v := range meta {
+			m[k] = v
+		}
+		var buf bytes.Buffer
+		if err := sys.TakeSnapshot(m).Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), buf.Bytes()) {
+			t.Fatalf("trial %d: identical state encoded to different bytes (%d vs %d)", trial, first.Len(), buf.Len())
+		}
+	}
+	// And the wire form must still round-trip the meta map.
+	got, err := md.ReadSnapshot(&first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range meta {
+		if got.Meta[k] != v {
+			t.Fatalf("meta[%q] = %d after round trip, want %d", k, got.Meta[k], v)
+		}
+	}
+}
+
 func TestRestoreRejectsWrongSize(t *testing.T) {
 	a := water.Build(2, 2, 2, water.CubicBoxFor(8), 1)
 	b := water.Build(3, 3, 3, water.CubicBoxFor(27), 1)

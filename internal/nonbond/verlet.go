@@ -162,6 +162,8 @@ func (v *VerletList) NPairs() int { return v.npairs }
 // (pairs beyond the true cutoff are skipped), accumulating forces into f.
 // Exclusions were applied at Rebuild time. Parallel over slabs, bitwise
 // deterministic at any GOMAXPROCS, and allocation-free.
+//
+//tme:noalloc
 func (v *VerletList) Compute(pos []vec.V, q []float64, lj *LJ, alpha float64, f []vec.V) Result {
 	ns := v.ns
 	rc2 := v.Cutoff * v.Cutoff
@@ -196,6 +198,8 @@ func (v *VerletList) Compute(pos []vec.V, q []float64, lj *LJ, alpha float64, f 
 // computeSlab evaluates slab s's buckets: same-slab pairs update both
 // force entries, cross-slab pairs update the owned side and record the
 // reaction force for the target slab's deferred pass.
+//
+//tme:noalloc
 func (v *VerletList) computeSlab(s int, pos []vec.V, q []float64, lj *LJ, alpha float64, f []vec.V, rc2 float64) {
 	p := &v.part[s]
 	*p = slabPartial{}
@@ -246,6 +250,8 @@ func (v *VerletList) computeSlab(s int, pos []vec.V, q []float64, lj *LJ, alpha 
 
 // applyDeferred applies the reaction forces owed to target slabs
 // [mlo, mhi) in ascending source-slab order.
+//
+//tme:noalloc
 func (v *VerletList) applyDeferred(f []vec.V, mlo, mhi int) {
 	ns := v.ns
 	for m := mlo; m < mhi; m++ {

@@ -78,6 +78,8 @@ func (m *Mesher) Assign(pos []vec.V, q []float64) *grid.G {
 // order — no atomics, no privatized grids, and bitwise-identical results at
 // any GOMAXPROCS. Workers reject particles whose p-plane support misses
 // their slab with a cheap bspline.Base test before computing any weights.
+//
+//tme:noalloc
 func (m *Mesher) AssignTo(g *grid.G, pos []vec.V, q []float64) {
 	nz := m.N[2]
 	if par.WorkersGrain(nz, 1) == 1 {
@@ -91,6 +93,8 @@ func (m *Mesher) AssignTo(g *grid.G, pos []vec.V, q []float64) {
 
 // assignSlab scatters every particle whose support touches grid planes
 // [zlo, zhi), writing only those planes.
+//
+//tme:noalloc
 func (m *Mesher) assignSlab(g *grid.G, pos []vec.V, q []float64, zlo, zhi int) {
 	p := m.P
 	nx, ny, nz := m.N[0], m.N[1], m.N[2]
@@ -151,11 +155,13 @@ var partialPool = sync.Pool{New: func() interface{} { return new([]float64) }}
 // grid potential phi (Eq. (15)) and accumulates forces F_i = −q_i ∇φ(r_i)
 // (Eq. (16)–(17)) into f. It returns the interaction energy
 // E = ½ Σ q_i φ_i (Eq. (14)).
+//
+//tme:noalloc
 func (m *Mesher) Interpolate(phi *grid.G, pos []vec.V, q []float64, f []vec.V) float64 {
 	nchunks := (len(pos) + energyChunk - 1) / energyChunk
 	pp := partialPool.Get().(*[]float64)
 	if cap(*pp) < nchunks {
-		*pp = make([]float64, nchunks)
+		*pp = make([]float64, nchunks) //tmevet:ignore noalloc -- grow-once: reused via partialPool in steady state
 	}
 	partial := (*pp)[:nchunks]
 	if par.WorkersGrain(nchunks, 1) == 1 {
@@ -175,6 +181,8 @@ func (m *Mesher) Interpolate(phi *grid.G, pos []vec.V, q []float64, f []vec.V) f
 
 // interpolateChunks evaluates the fixed-size particle chunks [clo, chi),
 // storing each chunk's energy in partial.
+//
+//tme:noalloc
 func (m *Mesher) interpolateChunks(phi *grid.G, pos []vec.V, q []float64, f []vec.V, partial []float64, clo, chi int) {
 	for ci := clo; ci < chi; ci++ {
 		lo := ci * energyChunk
@@ -187,6 +195,8 @@ func (m *Mesher) interpolateChunks(phi *grid.G, pos []vec.V, q []float64, f []ve
 }
 
 // interpolateRange is the serial gather kernel over particles [lo, hi).
+//
+//tme:noalloc
 func (m *Mesher) interpolateRange(phi *grid.G, pos []vec.V, q []float64, f []vec.V, lo, hi int) float64 {
 	p := m.P
 	var wx, wy, wz, dx, dy, dz [maxOrder]float64

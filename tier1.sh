@@ -1,16 +1,22 @@
 #!/bin/sh
-# Tier-1 gate: vet, build, full test suite, then the race detector over the
-# parallelized packages (grid ops, particle mesh, FFT, TME core, SPME, par,
-# and the short-range stack: cell list, nonbond, md), and a one-iteration
-# benchmark smoke so the benchmarks themselves cannot rot.
+# Tier-1 gate: formatting, vet, the tmevet invariant linter, build, full
+# test suite, then the race detector over the parallelized packages (grid
+# ops, particle mesh, FFT, TME core, SPME, par, the short-range stack:
+# cell list, nonbond, md, and the bonded/constraint/summation packages),
+# and a one-iteration benchmark smoke so the benchmarks themselves cannot
+# rot.
 # Run from the repo root:  ./tier1.sh
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
+go run ./cmd/tmevet ./...
 go build ./...
 go test ./...
 go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
 	./internal/fft/ ./internal/spme/ ./internal/core/ \
-	./internal/celllist/ ./internal/nonbond/
+	./internal/celllist/ ./internal/nonbond/ \
+	./internal/ewald/ ./internal/msm/ ./internal/bonded/ \
+	./internal/constraint/
 go test -race -short ./internal/md/
 go test -run '^$' -bench . -benchtime 1x . ./internal/nonbond/ > /dev/null
