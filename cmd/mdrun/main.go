@@ -14,9 +14,12 @@ import (
 	"math/rand"
 	"os"
 
+	"runtime"
+
 	"tme4a/internal/core"
 	"tme4a/internal/md"
 	"tme4a/internal/msm"
+	"tme4a/internal/obs"
 	"tme4a/internal/spme"
 	"tme4a/internal/water"
 )
@@ -36,6 +39,7 @@ func main() {
 		nvt    = flag.Bool("nvt", false, "couple a Berendsen thermostat")
 		every  = flag.Int("report", 20, "report interval (steps)")
 		seed   = flag.Int64("seed", 1, "random seed")
+		obsOn  = flag.Bool("obs", false, "record per-stage timings and print the breakdown at the end")
 	)
 	flag.Parse()
 
@@ -76,6 +80,11 @@ func main() {
 	if *nvt {
 		integ.Thermostat = &md.Thermostat{T: *temp, Tau: 0.1}
 	}
+	var rec *obs.Recorder
+	if *obsOn {
+		rec = obs.New()
+		integ.SetObs(rec)
+	}
 
 	fmt.Printf("%d atoms, method %s, rc %.2f nm, α %.3f nm⁻¹, grid %d³\n",
 		sys.N(), *method, *rc, alpha, *gridN)
@@ -86,6 +95,10 @@ func main() {
 				s, e.Potential(), e.Kinetic, e.Total(), sys.Temperature())
 		}
 	})
+	if rec != nil {
+		fmt.Println()
+		rec.Report(*method, sys.N(), runtime.GOMAXPROCS(0)).Render(os.Stdout, 60)
+	}
 }
 
 func buildSystem(in string, side int, seed int64) (*md.System, error) {

@@ -6,6 +6,7 @@
 //	tmebench -exp table1     relative force errors of SPME and TME (Table 1)
 //	tmebench -exp fig4       NVE total-energy stability (Fig 4)
 //	tmebench -exp fig9       single-step machine time chart (Fig 9)
+//	tmebench -exp fig9live   measured per-stage step breakdown (live Fig 9)
 //	tmebench -exp fig10      long-range phase breakdown (Fig 10, Sec V.B)
 //	tmebench -exp overlap    step time with/without long-range (Sec V.C)
 //	tmebench -exp table2     cross-system comparison (Table 2)
@@ -28,10 +29,11 @@ import (
 	"path/filepath"
 
 	"tme4a/internal/expt"
+	"tme4a/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,fig4,fig9,fig10,overlap,table2,costmodel,grid64,whatif,all")
+	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,fig4,fig9,fig9live,fig10,overlap,table2,costmodel,grid64,whatif,all")
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
 	outDir := flag.String("out", "results", "output directory ('' = stdout only)")
 	flag.Parse()
@@ -39,7 +41,7 @@ func main() {
 	runner := &runner{full: *full, outDir: *outDir}
 	exps := []string{*exp}
 	if *exp == "all" {
-		exps = []string{"fig3a", "fig3b", "table1", "fig4", "fig9", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif"}
+		exps = []string{"fig3a", "fig3b", "table1", "fig4", "fig9", "fig9live", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif"}
 	}
 	for _, e := range exps {
 		if err := runner.run(e); err != nil {
@@ -79,6 +81,18 @@ func (r *runner) out(name string) (io.Writer, func()) {
 	return io.MultiWriter(os.Stdout, f), func() { f.Close() }
 }
 
+// writeJSON writes the machine-readable stage report to path at the
+// repository root (next to the results directory), the artifact CI uploads.
+func writeJSON(path string, rep obs.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("wrote %s\n", path)
+	return rep.WriteJSON(f)
+}
+
 func (r *runner) run(exp string) error {
 	fmt.Printf("\n===== %s =====\n", exp)
 	switch exp {
@@ -115,6 +129,17 @@ func (r *runner) run(exp string) error {
 		w, done := r.out("fig9.txt")
 		defer done()
 		r.hwContext().RunFig9(w)
+	case "fig9live":
+		cfg := expt.QuickFig9Live()
+		if r.full {
+			cfg = expt.FullFig9Live()
+		}
+		w, done := r.out("fig9live.txt")
+		defer done()
+		rep := expt.RunFig9Live(cfg, w)
+		if err := writeJSON("BENCH_obs.json", rep); err != nil {
+			return err
+		}
 	case "fig10":
 		w, done := r.out("fig10.csv")
 		defer done()

@@ -24,6 +24,7 @@
 package celllist
 
 import (
+	"tme4a/internal/obs"
 	"tme4a/internal/vec"
 )
 
@@ -42,7 +43,16 @@ type List struct {
 	wrapped []vec.V
 	n       int
 	direct  bool // too few cells for the stencil; fall back to O(N²)
+	// o, when non-nil, counts rebuilds. The cell list records no span of
+	// its own: when it backs a Verlet list the rebuild time is attributed
+	// to the neighbor stage by VerletList.Rebuild, and the unbuffered
+	// force-field path wraps Rebuild in its own neighbor span.
+	o *obs.Recorder
 }
+
+// SetObs attaches a stage recorder (nil detaches). Not safe to call
+// concurrently with Rebuild.
+func (l *List) SetObs(r *obs.Recorder) { l.o = r }
 
 // New computes the cell decomposition for box and cutoff without binning
 // any atoms; Rebuild must be called before traversal. Cells are at least
@@ -84,6 +94,7 @@ func Build(box vec.Box, cutoff float64, pos []vec.V) *List {
 // reusing all internal storage (the atom count may change between calls).
 // After warmup it allocates nothing.
 func (l *List) Rebuild(pos []vec.V) {
+	l.o.Add(obs.CounterCellRebuilds, 1)
 	l.n = len(pos)
 	if l.direct {
 		return

@@ -23,6 +23,7 @@ import (
 	"tme4a/internal/bspline"
 	"tme4a/internal/ewald"
 	"tme4a/internal/grid"
+	"tme4a/internal/obs"
 	"tme4a/internal/pmesh"
 	"tme4a/internal/quad"
 	"tme4a/internal/spme"
@@ -60,9 +61,23 @@ type Solver struct {
 
 	pool *grid.Pool // recycled level grids and convolution scratch
 
+	// o, when non-nil, times the restriction, per-level convolution and
+	// prolongation stages of the mesh pipeline.
+	o *obs.Recorder
+
 	// mu guards the reused per-level grid table of the mesh pipeline.
 	mu      sync.Mutex
 	charges []*grid.G
+}
+
+// SetObs attaches a stage recorder to the solver, its mesher, grid pool
+// and top-level SPME solver (nil detaches). Not safe to call concurrently
+// with solves.
+func (s *Solver) SetObs(r *obs.Recorder) {
+	s.o = r
+	s.Mesher.SetObs(r)
+	s.pool.SetObs(r)
+	s.top.SetObs(r)
 }
 
 // New validates parameters and precomputes all kernels.
@@ -181,11 +196,13 @@ func (s *Solver) meshPotentialFromCharges(qg *grid.G) *grid.G {
 	// never recycled.
 	charges := s.charges
 	charges[1] = qg
+	spDown := s.o.Start(obs.StageRestrict)
 	for l := 1; l <= L; l++ {
 		n := charges[l].N
 		charges[l+1] = s.pool.Get([3]int{n[0] / 2, n[1] / 2, n[2] / 2})
 		grid.RestrictInto(charges[l+1], charges[l], s.j, s.pool)
 	}
+	spDown.Stop()
 	// Top-level SPME convolution (the TMENW/root-FPGA computation).
 	phi := s.pool.Get(charges[L+1].N)
 	s.top.PotentialGridInto(phi, charges[L+1])
@@ -195,11 +212,15 @@ func (s *Solver) meshPotentialFromCharges(qg *grid.G) *grid.G {
 	// convolution, recycling every intermediate grid.
 	for l := L; l >= 1; l-- {
 		up := s.pool.Get(charges[l].N)
+		spUp := s.o.Start(obs.StageProlong)
 		grid.ProlongInto(up, phi, s.j, s.pool)
+		spUp.Stop()
 		s.pool.Put(phi)
 		t1 := s.pool.Get(charges[l].N)
 		t2 := s.pool.Get(charges[l].N)
+		spConv := s.o.Start(obs.StageConv)
 		s.levelConvAccum(up, charges[l], l, t1, t2)
+		spConv.Stop()
 		s.pool.Put(t1)
 		s.pool.Put(t2)
 		if l > 1 {

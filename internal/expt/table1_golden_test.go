@@ -1,0 +1,88 @@
+package expt
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTable1Golden re-measures the rc = 1.0 column of Table 1 at the quick
+// configuration and compares every row against the committed
+// results/table1.csv — the accuracy regression guard for the whole mesh
+// stack (charge assignment, restriction, convolutions, top-level SPME,
+// prolongation, back interpolation). The reference Ewald forces come from
+// the on-disk cache, so the test costs the equilibration plus one solve per
+// row; it is skipped in -short mode and runs in full tier-1.
+func TestTable1Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table 1 golden sweep costs ~1 min")
+	}
+	golden := loadTable1CSV(t, "../../results/table1.csv")
+
+	cfg := QuickTable1()
+	cfg.CacheDir = "../../results/cache"
+	cfg.Rcs = []float64{1.0}
+	rows := RunTable1(cfg, io.Discard)
+	if len(rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+
+	const tol = 0.25 // relative; golden values are printed to 3 significant digits
+	for _, r := range rows {
+		want, ok := golden[table1Key(r)]
+		if !ok {
+			t.Errorf("row %s rc=%.2f gc=%d M=%d missing from results/table1.csv", r.Method, r.Rc, r.Gc, r.M)
+			continue
+		}
+		if dev := math.Abs(r.Err-want) / want; dev > tol {
+			t.Errorf("%s rc=%.2f gc=%d M=%d: force error %.3e deviates %.0f%% from golden %.3e",
+				r.Method, r.Rc, r.Gc, r.M, r.Err, 100*dev, want)
+		}
+	}
+}
+
+func table1Key(r Table1Row) string {
+	return r.Method + "/" + strconv.FormatFloat(r.Rc, 'f', 2, 64) + "/" +
+		strconv.Itoa(r.Gc) + "/" + strconv.Itoa(r.M)
+}
+
+// loadTable1CSV parses the committed table into method/rc/gc/M → error.
+func loadTable1CSV(t *testing.T, path string) map[string]float64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Skipf("golden table unavailable: %v", err)
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "method") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 5 {
+			continue
+		}
+		rc, err1 := strconv.ParseFloat(parts[1], 64)
+		errVal, err2 := strconv.ParseFloat(parts[4], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		gc, _ := strconv.Atoi(parts[2])
+		m, _ := strconv.Atoi(parts[3])
+		out[table1Key(Table1Row{Method: parts[0], Rc: rc, Gc: gc, M: m})] = errVal
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatalf("no golden rows parsed from %s", path)
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"tme4a/internal/obs"
 	"tme4a/internal/par"
 )
 
@@ -132,7 +133,14 @@ type RealPlan3 struct {
 	Hx         int // nx/2 + 1
 	px         *RealPlan
 	py, pz     *Plan
+	// o, when non-nil, times Forward/Inverse as the fft stage (which nests
+	// inside the top-SPME stage) and counts transforms.
+	o *obs.Recorder
 }
+
+// SetObs attaches a stage recorder (nil detaches). Not safe to call
+// concurrently with Forward/Inverse.
+func (p *RealPlan3) SetObs(r *obs.Recorder) { p.o = r }
 
 // NewRealPlan3 returns a 3D real-transform plan.
 func NewRealPlan3(nx, ny, nz int) *RealPlan3 {
@@ -156,6 +164,9 @@ func (p *RealPlan3) Forward(data []float64, spec []complex128) {
 	if len(data) != nx*ny*nz || len(spec) != p.SpectrumLen() {
 		panic("fft: RealPlan3 Forward size mismatch")
 	}
+	sp := p.o.Start(obs.StageFFT)
+	p.o.Add(obs.CounterFFTTransforms, 1)
+	defer sp.Stop()
 	// Every 1D line is transformed independently with per-worker scratch,
 	// so the passes parallelize with bitwise-deterministic results. Each
 	// pass branches before building its closure so the single-worker path
@@ -258,6 +269,9 @@ func (p *RealPlan3) Inverse(spec []complex128, data []float64) {
 	if len(data) != nx*ny*nz || len(spec) != p.SpectrumLen() {
 		panic("fft: RealPlan3 Inverse size mismatch")
 	}
+	sp := p.o.Start(obs.StageFFT)
+	p.o.Add(obs.CounterFFTTransforms, 1)
+	defer sp.Stop()
 	if par.WorkersGrain(ny*hx, rowGrain(nz)) == 1 {
 		p.zPass(spec, true, 0, ny*hx)
 	} else {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tme4a/internal/obs"
 	"tme4a/internal/par"
 )
 
@@ -109,20 +110,33 @@ func wrap(i, n int) int {
 type Pool struct {
 	mu   sync.Mutex
 	free map[[3]int][]*G
+	// o, when non-nil, counts Gets and allocation misses — the pool-health
+	// counters of the observability layer (a steady-state pipeline should
+	// show zero misses after warmup).
+	o *obs.Recorder
 }
 
 // NewPool returns an empty grid pool.
 func NewPool() *Pool { return &Pool{free: map[[3]int][]*G{}} }
 
+// SetObs attaches a stage recorder (nil detaches).
+func (p *Pool) SetObs(r *obs.Recorder) {
+	p.mu.Lock()
+	p.o = r
+	p.mu.Unlock()
+}
+
 // Get returns an nx×ny×nz grid with undefined contents.
 func (p *Pool) Get(n [3]int) *G {
 	p.mu.Lock()
+	p.o.Add(obs.CounterPoolGets, 1)
 	if s := p.free[n]; len(s) > 0 {
 		g := s[len(s)-1]
 		p.free[n] = s[:len(s)-1]
 		p.mu.Unlock()
 		return g
 	}
+	p.o.Add(obs.CounterPoolMisses, 1)
 	p.mu.Unlock()
 	return New(n[0], n[1], n[2])
 }

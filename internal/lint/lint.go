@@ -46,6 +46,7 @@ var checks = []*Check{
 	mutflagCheck,
 	noallocCheck,
 	noclockCheck,
+	obsclockCheck,
 	parwriteCheck,
 }
 
@@ -109,7 +110,11 @@ func checksFor(rel string) []*Check {
 	if numericPkgs[rel] {
 		cs = append(cs, detmapCheck, mutflagCheck)
 	}
-	if strings.HasPrefix(rel, "internal/") && !noclockExempt[rel] {
+	if rel == "internal/obs" {
+		// The observability package must read the clock, so noclock is
+		// replaced by the stricter-scoped seam rule.
+		cs = append(cs, obsclockCheck)
+	} else if strings.HasPrefix(rel, "internal/") && !noclockExempt[rel] {
 		cs = append(cs, noclockCheck)
 	}
 	cs = append(cs, noallocCheck, parwriteCheck)

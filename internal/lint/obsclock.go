@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// obsclock is the clock-seam rule of the observability package. internal/obs
+// is exempt from noclock — it must read the wall clock to time stages — but
+// unconstrained time.* calls there would let timing leak anywhere the
+// package is imported. obsclock therefore confines wall-clock reads to
+// functions carrying a "//tme:clock-seam" doc directive: everything else in
+// the package (span arithmetic, reports, counters) must receive time through
+// the recorder's injected clock, which tests replace with a scripted
+// function. time.* reads in package-level variable initializers sit outside
+// any seam function and are flagged too; route them through a seam helper.
+var obsclockCheck = &Check{
+	Name: "obsclock",
+	Doc:  "time.* read outside a //tme:clock-seam function in the clock-seam package",
+	Run:  runObsclock,
+}
+
+// clockSeamDirective marks a function as a sanctioned wall-clock source.
+const clockSeamDirective = "//tme:clock-seam"
+
+func hasClockSeamDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == clockSeamDirective || strings.HasPrefix(c.Text, clockSeamDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+// Pure constructors and converters (time.Duration, time.Unix, ...) carry no
+// ambient state and stay legal everywhere.
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runObsclock(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasClockSeamDirective(fd) {
+				continue
+			}
+			diags = append(diags, p.obsclockScan(decl)...)
+		}
+	}
+	return diags
+}
+
+// obsclockScan flags every wall-clock read under n (a non-seam declaration:
+// an unannotated function, or a var/const block whose initializers run at
+// package init, outside any seam).
+func (p *Package) obsclockScan(n ast.Node) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := p.pkgNameOf(sel.X)
+		if pkg == nil || pkg.Path() != "time" {
+			return true
+		}
+		if clockFuncs[sel.Sel.Name] {
+			diags = append(diags, p.diag(call.Pos(), "obsclock",
+				"time.%s outside a //tme:clock-seam function; only seam-annotated helpers may read the clock", sel.Sel.Name))
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,53 @@
+// Package obsclock exercises the obsclock check: wall-clock reads are
+// legal only inside functions carrying the //tme:clock-seam doc directive.
+package obsclock
+
+import (
+	stdtime "time"
+)
+
+// A package-level initializer runs outside any seam function: flagged.
+var bootTime = stdtime.Now() // want "time.Now outside a //tme:clock-seam function"
+
+// seamEpoch is the sanctioned pattern: the directive whitelists the read.
+//
+//tme:clock-seam
+func seamEpoch() stdtime.Time { return stdtime.Now() }
+
+// monotonic nests two clock reads under one seam: no finding.
+//
+//tme:clock-seam
+func monotonic() int64 {
+	t0 := stdtime.Now()
+	return int64(stdtime.Since(t0))
+}
+
+func stamp() int64 {
+	return stdtime.Now().UnixNano() // want "time.Now outside a //tme:clock-seam function"
+}
+
+func elapsed(t0 stdtime.Time) stdtime.Duration {
+	return stdtime.Since(t0) // want "time.Since outside a //tme:clock-seam function"
+}
+
+func deadline(t stdtime.Time) stdtime.Duration {
+	return stdtime.Until(t) // want "time.Until outside a //tme:clock-seam function"
+}
+
+// Pure time constructors and converters carry no ambient state: no finding.
+func pure() stdtime.Duration {
+	d := 3 * stdtime.Millisecond
+	_ = stdtime.Unix(0, 0)
+	_ = bootTime.Add(d)
+	return d
+}
+
+func suppressed() stdtime.Time {
+	return stdtime.Now() //tmevet:ignore obsclock -- demo of the suppression grammar
+}
+
+func notTheRealTime() int {
+	// A local identifier named "time" must not confuse the resolver.
+	time := struct{ Now func() int }{Now: func() int { return 0 }}
+	return time.Now()
+}

@@ -5,6 +5,7 @@ import (
 	"tme4a/internal/celllist"
 	"tme4a/internal/ewald"
 	"tme4a/internal/nonbond"
+	"tme4a/internal/obs"
 	"tme4a/internal/par"
 	"tme4a/internal/vec"
 )
@@ -73,6 +74,35 @@ type ForceField struct {
 	meshExcl   float64
 	// bondedFrc is the bonded terms' private force buffer.
 	bondedFrc []vec.V
+
+	// Obs, when non-nil, records the per-step stage timing breakdown. Set
+	// it through SetObs so the recorder propagates to the mesh solver and
+	// pair lists. A nil recorder makes every instrumentation site a no-op,
+	// preserving the zero-allocation and determinism contracts.
+	Obs *obs.Recorder
+}
+
+// obsWirer is satisfied by the instrumentable mesh solvers (spme.Solver,
+// core.Solver). Solvers without a SetObs method simply go untimed below
+// the mesh-total stage.
+type obsWirer interface {
+	SetObs(*obs.Recorder)
+}
+
+// SetObs attaches a stage recorder to the force field and every
+// instrumentable component it owns (nil detaches). Call it before or
+// between steps, never concurrently with Compute.
+func (ff *ForceField) SetObs(r *obs.Recorder) {
+	ff.Obs = r
+	if w, ok := ff.Mesh.(obsWirer); ok {
+		w.SetObs(r)
+	}
+	if ff.vlist != nil {
+		ff.vlist.SetObs(r)
+	}
+	if ff.cl != nil {
+		ff.cl.SetObs(r)
+	}
 }
 
 // Compute zeroes sys.Frc and evaluates all force-field terms, returning
@@ -127,11 +157,13 @@ func (ff *ForceField) compute(sys *System, doMesh bool) Energies {
 func (ff *ForceField) computeTermsParallel(sys *System, doMesh bool) (nonbond.Result, float64) {
 	var res nonbond.Result
 	var eBonded float64
+	sp := ff.Obs.Start(obs.StageOverlap)
 	par.Do(
 		func() { res = ff.shortRange(sys) },
 		func() { ff.meshTerm(sys, doMesh) },
 		func() { eBonded = ff.bondedTerm(sys) },
 	)
+	sp.Stop()
 	return res, eBonded
 }
 
@@ -139,12 +171,15 @@ func (ff *ForceField) computeTermsParallel(sys *System, doMesh bool) (nonbond.Re
 // into it, via the buffered Verlet list (Skin > 0) or the reused cell
 // list.
 func (ff *ForceField) shortRange(sys *System) nonbond.Result {
+	sp := ff.Obs.Start(obs.StageShortRange)
+	defer sp.Stop()
 	for i := range sys.Frc {
 		sys.Frc[i] = vec.V{}
 	}
 	if ff.Skin > 0 {
 		if ff.vlist == nil {
 			ff.vlist = nonbond.NewVerletList(sys.Box, ff.Rc, ff.Skin)
+			ff.vlist.SetObs(ff.Obs)
 		}
 		if ff.vlist.NeedsRebuild(sys.Pos) {
 			ff.vlist.Rebuild(sys.Pos, sys.Excl)
@@ -153,8 +188,14 @@ func (ff *ForceField) shortRange(sys *System) nonbond.Result {
 	}
 	if ff.cl == nil {
 		ff.cl = celllist.New(sys.Box, ff.Rc)
+		ff.cl.SetObs(ff.Obs)
 	}
+	// The unbuffered path rebuilds every evaluation; the cell list records
+	// no span of its own, so attribute the rebuild to the neighbor stage
+	// here (nested inside short-range, like the Verlet rebuild).
+	spn := ff.Obs.Start(obs.StageNeighbor)
 	ff.cl.Rebuild(sys.Pos)
+	spn.Stop()
 	return nonbond.ComputeWithList(ff.cl, sys.Box, sys.Pos, sys.Q, sys.LJ, ff.Alpha, sys.Excl, sys.Frc)
 }
 
@@ -165,8 +206,12 @@ func (ff *ForceField) meshTerm(sys *System, doMesh bool) {
 		return
 	}
 	if !doMesh && len(ff.meshForces) == sys.N() {
+		ff.Obs.Add(obs.CounterMeshReplays, 1)
 		return
 	}
+	sp := ff.Obs.Start(obs.StageMesh)
+	defer sp.Stop()
+	ff.Obs.Add(obs.CounterMeshSolves, 1)
 	if len(ff.meshForces) != sys.N() {
 		ff.meshForces = make([]vec.V, sys.N())
 	}
@@ -182,6 +227,8 @@ func (ff *ForceField) bondedTerm(sys *System) float64 {
 	if ff.Bonded == nil {
 		return 0
 	}
+	sp := ff.Obs.Start(obs.StageBonded)
+	defer sp.Stop()
 	if len(ff.bondedFrc) != sys.N() {
 		ff.bondedFrc = make([]vec.V, sys.N())
 	}
@@ -202,6 +249,8 @@ func (ff *ForceField) merge(sys *System) {
 	if !mesh && !bond {
 		return
 	}
+	sp := ff.Obs.Start(obs.StageMerge)
+	defer sp.Stop()
 	n := sys.N()
 	if par.Workers(n) == 1 {
 		ff.mergeRange(sys, 0, n, mesh, bond)

@@ -3,6 +3,7 @@ package md
 import (
 	"math"
 
+	"tme4a/internal/obs"
 	"tme4a/internal/vec"
 )
 
@@ -29,6 +30,11 @@ type Integrator struct {
 	old         []vec.V // reference positions of constrained waters
 }
 
+// SetObs attaches a stage recorder to the integrator's force field and
+// everything below it (nil detaches). Step reads the recorder from the
+// force field, so this is pure delegation.
+func (in *Integrator) SetObs(r *obs.Recorder) { in.FF.SetObs(r) }
+
 // Step advances the system by one time step and returns the energies
 // evaluated at the new positions.
 //
@@ -38,9 +44,12 @@ func (in *Integrator) Step(sys *System) Energies {
 		in.lastE = in.FF.Compute(sys)
 		in.initialized = true
 	}
+	rec := in.FF.Obs
+	spStep := rec.Start(obs.StageStep)
 	dt := in.Dt
 
 	// Phase 1: half-kick with the previous step's forces, then drift.
+	spInt := rec.Start(obs.StageIntegrate)
 	for i := range sys.Vel {
 		sys.Vel[i] = sys.Vel[i].Add(sys.Frc[i].Scale(0.5 * dt / sys.Mass[i]))
 	}
@@ -57,9 +66,11 @@ func (in *Integrator) Step(sys *System) Energies {
 	for i := range sys.Pos {
 		sys.Pos[i] = sys.Pos[i].Add(sys.Vel[i].Scale(dt))
 	}
+	spInt.Stop()
 	// Constrain positions; fold the constraint impulse into velocities via
 	// v = (r_constrained − r_old)/dt.
 	if sys.WaterModel != nil {
+		spCon := rec.Start(obs.StageConstraint)
 		for wi, w := range sys.RigidWaters {
 			a0, b0, c0 := in.old[3*wi], in.old[3*wi+1], in.old[3*wi+2]
 			a, b, c := sys.WaterModel.Settle(a0, b0, c0, sys.Pos[w[0]], sys.Pos[w[1]], sys.Pos[w[2]])
@@ -68,6 +79,7 @@ func (in *Integrator) Step(sys *System) Energies {
 			sys.Vel[w[2]] = c.Sub(c0).Scale(1 / dt)
 			sys.Pos[w[0]], sys.Pos[w[1]], sys.Pos[w[2]] = a, b, c
 		}
+		spCon.Stop()
 	}
 
 	// Phase 2: forces at the new positions.
@@ -81,16 +93,21 @@ func (in *Integrator) Step(sys *System) Energies {
 
 	// Phase 3: second half-kick, then remove constraint-violating velocity
 	// components (the velocity half of SETTLE / RATTLE).
+	spInt = rec.Start(obs.StageIntegrate)
 	for i := range sys.Vel {
 		sys.Vel[i] = sys.Vel[i].Add(sys.Frc[i].Scale(0.5 * dt / sys.Mass[i]))
 	}
+	spInt.Stop()
+	spCon := rec.Start(obs.StageConstraint)
 	sys.applyVelocityConstraints()
+	spCon.Stop()
 
 	if in.Thermostat != nil {
 		in.Thermostat.Apply(sys, dt)
 	}
 	e.Kinetic = sys.KineticEnergy()
 	in.lastE = e
+	spStep.Stop()
 	return e
 }
 

@@ -1,0 +1,55 @@
+package md_test
+
+// Instrumentation neutrality: attaching the internal/obs stage recorder to
+// an integrator must not change the trajectory by a single bit, at any
+// GOMAXPROCS. The recorder only reads the clock and touches its own atomic
+// slots; a regression here means an instrumentation site leaked into the
+// numerics (reordered a reduction, perturbed a buffer, changed a branch).
+
+import (
+	"runtime"
+	"testing"
+
+	"tme4a/internal/obs"
+)
+
+// TestObsBitwiseNeutral runs a 1000-step NVE trajectory (SPME mesh +
+// buffered Verlet list, the Fig 4 stack) twice per GOMAXPROCS level —
+// uninstrumented and with a recorder attached — and requires bitwise
+// identical positions, velocities, forces and energies.
+func TestObsBitwiseNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 1000-step NVE runs skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("four 1000-step NVE runs are too slow under -race")
+	}
+	const steps = 1000
+	for _, p := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(p)
+		plain := runTrajectory(steps, 0.1, true, nil)
+		rec := obs.New()
+		instr := runTrajectory(steps, 0.1, true, rec)
+		runtime.GOMAXPROCS(old)
+
+		if instr.e != plain.e {
+			t.Fatalf("GOMAXPROCS=%d: energies differ with obs attached: %+v vs %+v", p, instr.e, plain.e)
+		}
+		for i := range plain.pos {
+			if instr.pos[i] != plain.pos[i] || instr.vel[i] != plain.vel[i] || instr.frc[i] != plain.frc[i] {
+				t.Fatalf("GOMAXPROCS=%d: atom %d state differs with obs attached:\npos %v vs %v\nvel %v vs %v\nfrc %v vs %v",
+					p, i, instr.pos[i], plain.pos[i], instr.vel[i], plain.vel[i], instr.frc[i], plain.frc[i])
+			}
+		}
+		// The recorder must actually have observed the run it rode along.
+		if got := rec.StageCount(obs.StageStep); got != steps {
+			t.Errorf("GOMAXPROCS=%d: recorder saw %d step spans, want %d", p, got, steps)
+		}
+		// The first Step also runs the initialization force evaluation, so
+		// force-side stages see steps+1 evaluations.
+		if rec.StageNs(obs.StageShortRange) <= 0 || rec.StageCount(obs.StageMesh) != steps+1 {
+			t.Errorf("GOMAXPROCS=%d: stage data incomplete: short-range %d ns, mesh count %d",
+				p, rec.StageNs(obs.StageShortRange), rec.StageCount(obs.StageMesh))
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"tme4a/internal/core"
 	"tme4a/internal/md"
+	"tme4a/internal/obs"
 	"tme4a/internal/spme"
 	"tme4a/internal/vec"
 	"tme4a/internal/water"
@@ -29,7 +30,9 @@ type trajState struct {
 // advances it nSteps, capturing the final state. Everything — including
 // the equilibration inside water.Equilibrate — runs at the caller's
 // GOMAXPROCS, so any order-dependence anywhere in the stack shows up.
-func runTrajectory(nSteps int, skin float64, withMesh bool) trajState {
+// A non-nil rec attaches the stage recorder, which must not perturb the
+// trajectory (TestObsBitwiseNeutral).
+func runTrajectory(nSteps int, skin float64, withMesh bool, rec *obs.Recorder) trajState {
 	box := water.CubicBoxFor(64)
 	sys := water.Build(4, 4, 4, box, 42)
 	water.Equilibrate(sys, 20, 0.001, 300, 0.7, 7)
@@ -40,6 +43,9 @@ func runTrajectory(nSteps int, skin float64, withMesh bool) trajState {
 		ff.Mesh = spme.New(spme.Params{Alpha: alpha, Rc: rc, Order: 6, N: [3]int{16, 16, 16}}, sys.Box)
 	}
 	integ := &md.Integrator{FF: ff, Dt: 0.001}
+	if rec != nil {
+		integ.SetObs(rec)
+	}
 	var e md.Energies
 	for s := 0; s < nSteps; s++ {
 		e = integ.Step(sys)
@@ -69,7 +75,7 @@ func TestStepBitwiseAcrossGOMAXPROCS(t *testing.T) {
 			var ref trajState
 			for li, p := range gomaxprocsLevels {
 				old := runtime.GOMAXPROCS(p)
-				st := runTrajectory(5, tc.skin, tc.mesh)
+				st := runTrajectory(5, tc.skin, tc.mesh, nil)
 				runtime.GOMAXPROCS(old)
 				if li == 0 {
 					ref = st

@@ -2,6 +2,7 @@ package nonbond
 
 import (
 	"tme4a/internal/celllist"
+	"tme4a/internal/obs"
 	"tme4a/internal/par"
 	"tme4a/internal/topol"
 	"tme4a/internal/vec"
@@ -36,6 +37,19 @@ type VerletList struct {
 	npairs int
 	ref    []vec.V // positions at build time
 	n      int
+
+	// o, when non-nil, times Rebuild as the neighbor stage and counts
+	// rebuilds and buffered pairs.
+	o *obs.Recorder
+}
+
+// SetObs attaches a stage recorder to the list and its backing cell list
+// (nil detaches). Not safe to call concurrently with Rebuild.
+func (v *VerletList) SetObs(r *obs.Recorder) {
+	v.o = r
+	if v.cl != nil {
+		v.cl.SetObs(r)
+	}
 }
 
 type pair struct {
@@ -51,6 +65,8 @@ func NewVerletList(box vec.Box, cutoff, skin float64) *VerletList {
 // count may differ from the previous build; all internal storage is
 // resized and reused.
 func (v *VerletList) Rebuild(pos []vec.V, excl *topol.Exclusions) {
+	sp := v.o.Start(obs.StageNeighbor)
+	defer sp.Stop()
 	v.n = len(pos)
 	if cap(v.ref) < len(pos) {
 		v.ref = make([]vec.V, len(pos))
@@ -60,6 +76,7 @@ func (v *VerletList) Rebuild(pos []vec.V, excl *topol.Exclusions) {
 
 	if v.cl == nil {
 		v.cl = celllist.New(v.Box, v.Cutoff+v.Skin)
+		v.cl.SetObs(v.o)
 	}
 	v.cl.Rebuild(pos)
 	ns := v.cl.Slabs()
@@ -106,6 +123,8 @@ func (v *VerletList) Rebuild(pos []vec.V, excl *topol.Exclusions) {
 		}
 		v.dfrc[b] = v.dfrc[b][:len(v.cross[b])]
 	}
+	v.o.Add(obs.CounterVerletRebuilds, 1)
+	v.o.Add(obs.CounterVerletPairs, int64(v.npairs))
 }
 
 // fillSlab collects slab s's candidate pairs into its own buckets; safe to

@@ -1,0 +1,26 @@
+package obs
+
+import "time"
+
+// This file is the clock seam: the only place in internal/ allowed to read
+// wall-clock time. The tmevet obsclock check enforces that time.* calls in
+// this package appear only inside functions carrying the //tme:clock-seam
+// directive, and the noclock check keeps every other internal package
+// clock-free — so a trajectory can depend on the clock only through the
+// recorder's non-numeric timing slots.
+
+// epoch anchors the monotonic clock; reading durations relative to a
+// process-local epoch keeps the int64 nanosecond values small and uses
+// Go's monotonic clock reading, immune to wall-clock adjustments.
+var epoch = seamEpoch()
+
+// seamEpoch captures the process start time.
+//
+//tme:clock-seam
+func seamEpoch() time.Time { return time.Now() }
+
+// monotonicNow returns monotonic nanoseconds since the package was
+// initialized. It is the default clock of New and allocates nothing.
+//
+//tme:clock-seam
+func monotonicNow() int64 { return int64(time.Since(epoch)) }

@@ -1,0 +1,280 @@
+// Package obs is the stage-level observability layer of the simulation
+// stack: preregistered per-stage timers and counters for the pipeline the
+// paper charts in Fig. 9 (charge assignment, restriction, grid
+// convolution, top-level SPME, prolongation, back interpolation,
+// short-range, bonded, constraints, and the par.Do overlap window).
+//
+// Design constraints, in order:
+//
+//   - Determinism. Instrumentation must never change a trajectory bitwise.
+//     The recorder therefore touches no numeric state: it only reads an
+//     injected monotonic clock and adds into fixed atomic slots. Simulation
+//     code never calls time.Now directly — the only sanctioned time source
+//     in internal/ is this package's clock seam (clock.go), which the
+//     tmevet obsclock check enforces statically.
+//
+//   - Zero allocation. Start/Stop/Add are allocation-free on the enabled
+//     path (fixed-size slot arrays, no maps, value Spans) so the
+//     //tme:noalloc hot paths of PRs 1–2 can carry spans without breaking
+//     their AllocsPerRun gates.
+//
+//   - Zero cost when disabled. Every method no-ops on a nil *Recorder, so
+//     uninstrumented runs pay one nil check per span — the ForceField,
+//     Integrator, meshers and plans all hold a nil recorder by default.
+//
+// Stages may nest (fft inside the top-level SPME solve, the neighbor-list
+// rebuild inside short-range, everything inside the step total); the
+// report presents raw per-stage sums and leaves the hierarchy to the
+// reader, exactly like the paper's machine-time chart.
+package obs
+
+import "sync/atomic"
+
+// Stage identifies one preregistered pipeline stage. The order is the
+// pipeline order used by the report renderer.
+type Stage uint8
+
+const (
+	StageAssign     Stage = iota // charge assignment (anterpolation) onto the finest grid
+	StageRestrict                // two-scale restriction, downward pass over all levels
+	StageConv                    // separable middle-range grid convolutions
+	StageTopSPME                 // top-level SPME solve (FFT · Green · IFFT)
+	StageFFT                     // 3D real-FFT transforms (nested inside the top solve)
+	StageProlong                 // two-scale prolongation, upward pass
+	StageInterp                  // back interpolation of potentials and forces
+	StageMesh                    // whole long-range mesh solve (assign .. interp + self)
+	StageShortRange              // short-range nonbonded pair engine
+	StageNeighbor                // Verlet pair-list / cell-list rebuild
+	StageBonded                  // bonded terms
+	StageConstraint              // SETTLE position + velocity constraints
+	StageMerge                   // per-atom force-buffer merge
+	StageOverlap                 // par.Do overlap window of the force terms
+	StageIntegrate               // kick/drift integration bookkeeping
+	StageStep                    // whole Integrator.Step
+	NumStages                    // number of preregistered stages
+)
+
+// stageNames are the human-readable chart labels, indexed by Stage.
+var stageNames = [NumStages]string{
+	"charge assign",
+	"restrict",
+	"grid conv",
+	"top SPME",
+	"fft",
+	"prolong",
+	"back interp",
+	"mesh total",
+	"short-range",
+	"neighbor build",
+	"bonded",
+	"constraint",
+	"force merge",
+	"overlap window",
+	"integrate",
+	"step total",
+}
+
+// stageJSONNames are the machine-readable identifiers, indexed by Stage.
+var stageJSONNames = [NumStages]string{
+	"charge_assign",
+	"restrict",
+	"grid_conv",
+	"top_spme",
+	"fft",
+	"prolong",
+	"back_interp",
+	"mesh_total",
+	"short_range",
+	"neighbor_build",
+	"bonded",
+	"constraint",
+	"force_merge",
+	"overlap_window",
+	"integrate",
+	"step_total",
+}
+
+// String returns the chart label of the stage.
+func (s Stage) String() string {
+	if s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// JSONName returns the machine-readable identifier of the stage.
+func (s Stage) JSONName() string {
+	if s >= NumStages {
+		return "unknown"
+	}
+	return stageJSONNames[s]
+}
+
+// Counter identifies one preregistered event counter.
+type Counter uint8
+
+const (
+	CounterMeshSolves     Counter = iota // full long-range mesh evaluations
+	CounterMeshReplays                   // multiple-timestep replays of cached mesh forces
+	CounterVerletRebuilds                // Verlet pair-list rebuilds
+	CounterVerletPairs                   // pairs enumerated across all rebuilds
+	CounterCellRebuilds                  // cell-list rebuilds
+	CounterFFTTransforms                 // 3D real-FFT transforms (forward + inverse)
+	CounterPoolGets                      // grid-pool Get calls
+	CounterPoolMisses                    // grid-pool Gets that had to allocate
+	NumCounters                          // number of preregistered counters
+)
+
+// counterJSONNames are the counter identifiers, indexed by Counter.
+var counterJSONNames = [NumCounters]string{
+	"mesh_solves",
+	"mesh_replays",
+	"verlet_rebuilds",
+	"verlet_pairs",
+	"cell_rebuilds",
+	"fft_transforms",
+	"pool_gets",
+	"pool_misses",
+}
+
+// String returns the counter's identifier.
+func (c Counter) String() string {
+	if c >= NumCounters {
+		return "unknown"
+	}
+	return counterJSONNames[c]
+}
+
+// slot is one stage's accumulator pair, padded to its own cache line so
+// concurrently-updated stages (the par.Do overlap) do not false-share.
+type slot struct {
+	ns    atomic.Int64
+	count atomic.Int64
+	_     [48]byte
+}
+
+// cslot is one counter's accumulator, cache-line padded like slot.
+type cslot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Recorder accumulates span durations and counter increments into
+// fixed-size atomic slot arrays. All methods are safe for concurrent use
+// and no-op on a nil receiver. Construct with New or NewWithClock.
+type Recorder struct {
+	clock    func() int64
+	stages   [NumStages]slot
+	counters [NumCounters]cslot
+}
+
+// New returns an enabled recorder reading the process-monotonic clock.
+func New() *Recorder {
+	return NewWithClock(monotonicNow)
+}
+
+// NewWithClock returns a recorder reading monotonic nanoseconds from
+// clock, which must be safe for concurrent use. Tests inject deterministic
+// clocks here so report rendering is reproducible.
+func NewWithClock(clock func() int64) *Recorder {
+	if clock == nil {
+		panic("obs: nil clock")
+	}
+	return &Recorder{clock: clock}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Span is an open interval of one stage. The zero Span (from a disabled
+// recorder) is valid and Stop on it is a no-op.
+type Span struct {
+	r     *Recorder
+	stage Stage
+	t0    int64
+}
+
+// Start opens a span of stage s. On a nil recorder it returns the zero
+// Span and reads no clock.
+//
+//tme:noalloc
+func (r *Recorder) Start(s Stage) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, stage: s, t0: r.clock()}
+}
+
+// Stop closes the span, adding its duration to the stage's slot.
+//
+//tme:noalloc
+func (sp Span) Stop() {
+	if sp.r == nil {
+		return
+	}
+	sl := &sp.r.stages[sp.stage]
+	sl.ns.Add(sp.r.clock() - sp.t0)
+	sl.count.Add(1)
+}
+
+// Record adds a ready-made duration to stage s without reading the clock
+// (used when the caller already has both endpoints).
+//
+//tme:noalloc
+func (r *Recorder) Record(s Stage, ns int64) {
+	if r == nil {
+		return
+	}
+	sl := &r.stages[s]
+	sl.ns.Add(ns)
+	sl.count.Add(1)
+}
+
+// Add increments counter c by v.
+//
+//tme:noalloc
+func (r *Recorder) Add(c Counter, v int64) {
+	if r == nil {
+		return
+	}
+	r.counters[c].v.Add(v)
+}
+
+// StageNs returns the accumulated nanoseconds of stage s.
+func (r *Recorder) StageNs(s Stage) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.stages[s].ns.Load()
+}
+
+// StageCount returns the number of closed spans of stage s.
+func (r *Recorder) StageCount(s Stage) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.stages[s].count.Load()
+}
+
+// CounterValue returns the current value of counter c.
+func (r *Recorder) CounterValue(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[c].v.Load()
+}
+
+// Reset zeroes every stage and counter slot. Not atomic with respect to
+// concurrent recording; callers quiesce the pipeline first.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.stages {
+		r.stages[i].ns.Store(0)
+		r.stages[i].count.Store(0)
+	}
+	for i := range r.counters {
+		r.counters[i].v.Store(0)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"tme4a/internal/bspline"
 	"tme4a/internal/grid"
+	"tme4a/internal/obs"
 	"tme4a/internal/par"
 	"tme4a/internal/vec"
 )
@@ -34,7 +35,14 @@ type Mesher struct {
 	Box vec.Box
 	// invH[j] = N[j]/L[j] converts coordinates to grid units.
 	invH [3]float64
+	// o, when non-nil, times AssignTo and Interpolate as the charge-assign
+	// and back-interpolation stages.
+	o *obs.Recorder
 }
+
+// SetObs attaches a stage recorder (nil detaches). Not safe to call
+// concurrently with AssignTo/Interpolate.
+func (m *Mesher) SetObs(r *obs.Recorder) { m.o = r }
 
 // NewMesher returns a mesher of even B-spline order p on an N-point grid
 // over box. p is capped at 16 (the fixed weight-scratch size of the
@@ -81,14 +89,17 @@ func (m *Mesher) Assign(pos []vec.V, q []float64) *grid.G {
 //
 //tme:noalloc
 func (m *Mesher) AssignTo(g *grid.G, pos []vec.V, q []float64) {
+	sp := m.o.Start(obs.StageAssign)
 	nz := m.N[2]
 	if par.WorkersGrain(nz, 1) == 1 {
 		m.assignSlab(g, pos, q, 0, nz)
+		sp.Stop()
 		return
 	}
 	par.ForRangeGrain(nz, 1, func(zlo, zhi int) {
 		m.assignSlab(g, pos, q, zlo, zhi)
 	})
+	sp.Stop()
 }
 
 // assignSlab scatters every particle whose support touches grid planes
@@ -158,6 +169,7 @@ var partialPool = sync.Pool{New: func() interface{} { return new([]float64) }}
 //
 //tme:noalloc
 func (m *Mesher) Interpolate(phi *grid.G, pos []vec.V, q []float64, f []vec.V) float64 {
+	sp := m.o.Start(obs.StageInterp)
 	nchunks := (len(pos) + energyChunk - 1) / energyChunk
 	pp := partialPool.Get().(*[]float64)
 	if cap(*pp) < nchunks {
@@ -176,6 +188,7 @@ func (m *Mesher) Interpolate(phi *grid.G, pos []vec.V, q []float64, f []vec.V) f
 		energy += e
 	}
 	partialPool.Put(pp)
+	sp.Stop()
 	return energy
 }
 

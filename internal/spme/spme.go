@@ -18,6 +18,7 @@ import (
 	"tme4a/internal/ewald"
 	"tme4a/internal/fft"
 	"tme4a/internal/grid"
+	"tme4a/internal/obs"
 	"tme4a/internal/pmesh"
 	"tme4a/internal/topol"
 	"tme4a/internal/units"
@@ -60,9 +61,22 @@ type Solver struct {
 
 	pool *grid.Pool // recycled charge/potential grids (zero steady-state allocs)
 
+	// o, when non-nil, times the reciprocal solve as the top-SPME stage
+	// (this covers both standalone SPME and the TME top-level convolution).
+	o *obs.Recorder
+
 	// specMu guards the reused half-spectrum scratch of PotentialGridInto.
 	specMu sync.Mutex
 	spec   []complex128
+}
+
+// SetObs attaches a stage recorder to the solver and its mesher, FFT plan
+// and grid pool (nil detaches). Not safe to call concurrently with solves.
+func (s *Solver) SetObs(r *obs.Recorder) {
+	s.o = r
+	s.Mesher.SetObs(r)
+	s.plan.SetObs(r)
+	s.pool.SetObs(r)
 }
 
 // New precomputes an SPME solver for the box.
@@ -155,6 +169,8 @@ func (s *Solver) PotentialGridInto(phi, q *grid.G) {
 	if phi.N != s.Prm.N {
 		panic("spme: potential grid shape mismatch")
 	}
+	sp := s.o.Start(obs.StageTopSPME)
+	defer sp.Stop()
 	s.specMu.Lock()
 	defer s.specMu.Unlock()
 	spec := s.spec

@@ -2,7 +2,8 @@
 # Tier-1 gate: formatting, vet, the tmevet invariant linter, build, full
 # test suite, then the race detector over the parallelized packages (grid
 # ops, particle mesh, FFT, TME core, SPME, par, the short-range stack:
-# cell list, nonbond, md, and the bonded/constraint/summation packages),
+# cell list, nonbond, md, the bonded/constraint/summation packages, and
+# the obs stage recorder whose atomic slots every parallel stage touches),
 # and a one-iteration benchmark smoke so the benchmarks themselves cannot
 # rot.
 # Run from the repo root:  ./tier1.sh
@@ -17,6 +18,6 @@ go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
 	./internal/fft/ ./internal/spme/ ./internal/core/ \
 	./internal/celllist/ ./internal/nonbond/ \
 	./internal/ewald/ ./internal/msm/ ./internal/bonded/ \
-	./internal/constraint/
-go test -race -short ./internal/md/
+	./internal/constraint/ ./internal/obs/
+go test -race -short ./internal/md/ ./internal/expt/
 go test -run '^$' -bench . -benchtime 1x . ./internal/nonbond/ > /dev/null
