@@ -6,6 +6,18 @@
 // Methods: cutoff (erfc-screened short range only), spme, tme, msm.
 // With -in, a snapshot written by watergen is used instead of building a
 // fresh box.
+//
+// Crash-consistent checkpointing (see DESIGN.md §7.5):
+//
+//	mdrun -side 10 -steps 5000 -checkpoint-dir ck -checkpoint-every 500
+//	mdrun -side 10 -steps 5000 -checkpoint-dir ck -resume
+//
+// The second invocation scans ck, rejects anything torn or corrupt by
+// CRC, restores from the newest valid checkpoint and continues the
+// trajectory bitwise-identically to an uninterrupted run (NVE or
+// Berendsen; the stochastic CSVR thermostat resumes from the same state
+// but draws fresh noise). -steps is the total trajectory length, so the
+// resumed run performs only the remaining steps.
 package main
 
 import (
@@ -16,6 +28,7 @@ import (
 
 	"runtime"
 
+	"tme4a/internal/ckpt"
 	"tme4a/internal/core"
 	"tme4a/internal/md"
 	"tme4a/internal/msm"
@@ -26,33 +39,84 @@ import (
 
 func main() {
 	var (
-		side   = flag.Int("side", 10, "waters per box edge when building fresh")
-		in     = flag.String("in", "", "snapshot file from watergen (optional)")
-		steps  = flag.Int("steps", 200, "MD steps (1 fs)")
-		method = flag.String("method", "tme", "long-range method: cutoff|spme|tme|msm")
-		rc     = flag.Float64("rc", 1.0, "short-range cutoff (nm)")
-		gridN  = flag.Int("grid", 16, "mesh points per axis")
-		m      = flag.Int("M", 3, "TME Gaussians per shell")
-		gc     = flag.Int("gc", 8, "grid kernel cutoff")
-		levels = flag.Int("L", 1, "TME/MSM middle levels")
-		temp   = flag.Float64("T", 300, "initial temperature (K)")
-		nvt    = flag.Bool("nvt", false, "couple a Berendsen thermostat")
-		every  = flag.Int("report", 20, "report interval (steps)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		obsOn  = flag.Bool("obs", false, "record per-stage timings and print the breakdown at the end")
+		side    = flag.Int("side", 10, "waters per box edge when building fresh")
+		in      = flag.String("in", "", "snapshot file from watergen (optional)")
+		steps   = flag.Int("steps", 200, "total MD steps (1 fs); a resumed run does the remainder")
+		method  = flag.String("method", "tme", "long-range method: cutoff|spme|tme|msm")
+		rc      = flag.Float64("rc", 1.0, "short-range cutoff (nm)")
+		gridN   = flag.Int("grid", 16, "mesh points per axis")
+		m       = flag.Int("M", 3, "TME Gaussians per shell")
+		gc      = flag.Int("gc", 8, "grid kernel cutoff")
+		levels  = flag.Int("L", 1, "TME/MSM middle levels")
+		temp    = flag.Float64("T", 300, "initial temperature (K)")
+		nvt     = flag.Bool("nvt", false, "couple a Berendsen thermostat")
+		every   = flag.Int("report", 20, "report interval (steps)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		obsOn   = flag.Bool("obs", false, "record per-stage timings and print the breakdown at the end")
+		ckDir   = flag.String("checkpoint-dir", "", "directory for crash-consistent checkpoints")
+		ckEvery = flag.Int("checkpoint-every", 0, "checkpoint cadence in steps (0 = off)")
+		ckKeep  = flag.Int("checkpoint-keep", 3, "checkpoints retained (keep-last-K)")
+		resume  = flag.Bool("resume", false, "restore from the newest valid checkpoint in -checkpoint-dir")
 	)
 	flag.Parse()
 
-	sys, err := buildSystem(*in, *side, *seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mdrun: %v\n", err)
-		os.Exit(1)
+	// Everything that shapes the trajectory goes into the config hash;
+	// a checkpoint from a run with different parameters is refused.
+	cfgHash := ckpt.ConfigHash(fmt.Sprintf(
+		"mdrun in=%q side=%d method=%s rc=%g grid=%d M=%d gc=%d L=%d T=%g nvt=%t seed=%d dt=0.001",
+		*in, *side, *method, *rc, *gridN, *m, *gc, *levels, *temp, *nvt, *seed))
+
+	var store *ckpt.Store
+	openStore := func() *ckpt.Store {
+		if store == nil {
+			st, err := ckpt.Open(*ckDir, *ckKeep, cfgHash, nil)
+			if err != nil {
+				fatalf("opening checkpoint store: %v", err)
+			}
+			store = st
+		}
+		return store
+	}
+
+	var (
+		sys       *md.System
+		meta      map[string]int64
+		resumed   *ckpt.Checkpoint
+		startStep int
+	)
+	if *resume {
+		if *ckDir == "" {
+			fatalf("-resume requires -checkpoint-dir")
+		}
+		c, err := openStore().LoadLatest()
+		if err != nil {
+			fatalf("resume: %v", err)
+		}
+		resumed = c
+		startStep = int(c.Step())
+		// Rebuild the topology the checkpoint was taken from; positions
+		// and velocities come from the snapshot, so no equilibration and
+		// no fresh velocity draw.
+		wside := int(c.Snap.Meta["side"])
+		wseed := c.Snap.Meta["seed"]
+		if wside <= 0 {
+			fatalf("resume: checkpoint carries no builder meta")
+		}
+		sys = water.Build(wside, wside, wside, c.Snap.Box, wseed)
+		meta = c.Snap.Meta
+		fmt.Printf("resuming from %s/%s at step %d\n", *ckDir, ckpt.FileName(c.Step()), startStep)
+	} else {
+		var err error
+		sys, meta, err = buildSystem(*in, *side, *seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sys.InitVelocities(*temp, rand.New(rand.NewSource(*seed+2)))
 	}
 	if *rc >= sys.Box.L[0]/2 {
 		*rc = sys.Box.L[0] / 2 * 0.95
 		fmt.Printf("cutoff reduced to %.3f nm (half box)\n", *rc)
 	}
-	sys.InitVelocities(*temp, rand.New(rand.NewSource(*seed+2)))
 
 	alpha := spme.AlphaFromRTol(*rc, 1e-4)
 	n := [3]int{*gridN, *gridN, *gridN}
@@ -69,8 +133,7 @@ func main() {
 		mesh = msm.New(msm.Params{Alpha: alpha, Rc: *rc, Order: 6, N: n,
 			Levels: *levels, Gc: *gc}, sys.Box)
 	default:
-		fmt.Fprintf(os.Stderr, "mdrun: unknown method %q\n", *method)
-		os.Exit(1)
+		fatalf("unknown method %q", *method)
 	}
 
 	integ := &md.Integrator{
@@ -85,14 +148,40 @@ func main() {
 		rec = obs.New()
 		integ.SetObs(rec)
 	}
+	if resumed != nil {
+		if err := integ.RestoreResume(sys, resumed.Snap); err != nil {
+			fatalf("resume: %v", err)
+		}
+		if rec != nil {
+			resumed.RestoreObs(rec)
+		}
+	}
+	if *ckEvery > 0 && *ckDir != "" {
+		openStore()
+	}
+	if store != nil && rec != nil {
+		store.SetObs(rec)
+	}
+
+	remaining := *steps - startStep
+	if remaining <= 0 {
+		fmt.Printf("trajectory already at step %d of %d; nothing to do\n", startStep, *steps)
+		return
+	}
 
 	fmt.Printf("%d atoms, method %s, rc %.2f nm, α %.3f nm⁻¹, grid %d³\n",
 		sys.N(), *method, *rc, alpha, *gridN)
 	fmt.Printf("%8s %14s %14s %14s %8s\n", "step", "potential", "kinetic", "total", "T(K)")
-	integ.Run(sys, *steps, func(s int, e md.Energies) {
-		if s%*every == 0 || s == 1 {
+	integ.Run(sys, remaining, func(s int, e md.Energies) {
+		abs := startStep + s
+		if abs%*every == 0 || s == 1 {
 			fmt.Printf("%8d %14.3f %14.3f %14.3f %8.1f\n",
-				s, e.Potential(), e.Kinetic, e.Total(), sys.Temperature())
+				abs, e.Potential(), e.Kinetic, e.Total(), sys.Temperature())
+		}
+		if store != nil && *ckEvery > 0 && abs%*ckEvery == 0 {
+			if err := store.Save(integ.CaptureResume(sys, meta)); err != nil {
+				fmt.Fprintf(os.Stderr, "mdrun: checkpoint at step %d failed: %v\n", abs, err)
+			}
 		}
 	})
 	if rec != nil {
@@ -101,25 +190,30 @@ func main() {
 	}
 }
 
-func buildSystem(in string, side int, seed int64) (*md.System, error) {
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdrun: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func buildSystem(in string, side int, seed int64) (*md.System, map[string]int64, error) {
 	if in == "" {
 		nmol := side * side * side
 		box := water.CubicBoxFor(nmol)
 		sys := water.Build(side, side, side, box, seed)
 		water.Equilibrate(sys, 200, 0.001, 300, minf(0.9, box.L[0]/2*0.95), seed+1)
-		return sys, nil
+		return sys, map[string]int64{"side": int64(side), "seed": seed}, nil
 	}
 	snap, err := md.LoadSnapshot(in)
 	if err != nil {
-		return nil, fmt.Errorf("loading %s: %w", in, err)
+		return nil, nil, fmt.Errorf("loading %s: %w", in, err)
 	}
 	wside := int(snap.Meta["side"])
 	wseed := snap.Meta["seed"]
 	sys := water.Build(wside, wside, wside, snap.Box, wseed)
 	if err := sys.Restore(snap); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return sys, nil
+	return sys, snap.Meta, nil
 }
 
 func minf(a, b float64) float64 {

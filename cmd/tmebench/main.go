@@ -5,6 +5,7 @@
 //	tmebench -exp fig3b      approximation error vs M (Fig 3b)
 //	tmebench -exp table1     relative force errors of SPME and TME (Table 1)
 //	tmebench -exp fig4       NVE total-energy stability (Fig 4)
+//	tmebench -exp fig4resume crash/resume bitwise-identity harness
 //	tmebench -exp fig9       single-step machine time chart (Fig 9)
 //	tmebench -exp fig9live   measured per-stage step breakdown (live Fig 9)
 //	tmebench -exp fig10      long-range phase breakdown (Fig 10, Sec V.B)
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,fig4,fig9,fig9live,fig10,overlap,table2,costmodel,grid64,whatif,all")
+	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,fig4,fig4resume,fig9,fig9live,fig10,overlap,table2,costmodel,grid64,whatif,all")
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
 	outDir := flag.String("out", "results", "output directory ('' = stdout only)")
 	flag.Parse()
@@ -41,7 +42,7 @@ func main() {
 	runner := &runner{full: *full, outDir: *outDir}
 	exps := []string{*exp}
 	if *exp == "all" {
-		exps = []string{"fig3a", "fig3b", "table1", "fig4", "fig9", "fig9live", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif"}
+		exps = []string{"fig3a", "fig3b", "table1", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif"}
 	}
 	for _, e := range exps {
 		if err := runner.run(e); err != nil {
@@ -125,6 +126,21 @@ func (r *runner) run(exp string) error {
 		w, done := r.out("fig4.csv")
 		defer done()
 		expt.RunFig4(cfg, w)
+	case "fig4resume":
+		cfg := expt.QuickFig4Resume()
+		w, done := r.out("fig4resume.txt")
+		defer done()
+		ckdir, err := os.MkdirTemp("", "tme-ckpt-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(ckdir)
+		res, err := expt.RunFig4Resume(cfg, filepath.Join(ckdir, "clean"), filepath.Join(ckdir, "torn"), nil, w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "final state hash %016x (resume points: clean %d, torn fallback %d)\n",
+			res.FinalHash, res.ResumedFrom, res.TornResumeFrom)
 	case "fig9":
 		w, done := r.out("fig9.txt")
 		defer done()

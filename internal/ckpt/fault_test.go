@@ -1,0 +1,316 @@
+package ckpt
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedStore writes valid checkpoints at the given steps into fs/dir;
+// the saves must succeed. Save ends with SyncDir, so on a MemFS the
+// seeded state is already durable when this returns.
+func seedStore(t *testing.T, fs FS, dir string, steps ...int64) {
+	t.Helper()
+	st, err := Open(dir, 10, 42, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range steps {
+		if err := st.Save(testSnap(step, 5, step)); err != nil {
+			t.Fatalf("seed save %d: %v", step, err)
+		}
+	}
+}
+
+// corruptFile flips one payload byte of a durable file in place,
+// bypassing the store (a bit-rot / partial-overwrite simulation).
+func corruptFile(t *testing.T, fs FS, path string) {
+	t.Helper()
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultMatrix drives every recovery branch: for each injected fault
+// the interrupted Save must report an error (or the crash must abandon
+// the process), and recovery over the durable state must land on the
+// newest valid checkpoint — or, where nothing valid exists, on the
+// precise error for that situation.
+func TestFaultMatrix(t *testing.T) {
+	const dir = "ck"
+	newest := FileName(300) // the save the fault interrupts
+	cases := []struct {
+		name string
+		// rules applied while saving step 300 on top of durable 100, 200
+		rules []Rule
+		// direct corruption applied after the (possibly failed) save
+		corrupt bool
+		// wantStep is the step recovery must land on
+		wantStep int64
+		// wantSaveErr: the interrupted Save must return an error
+		wantSaveErr bool
+	}{
+		{
+			name:        "torn write on checkpoint temp",
+			rules:       []Rule{{Op: OpWrite, Match: newest, Mode: ModeTorn}},
+			wantStep:    200,
+			wantSaveErr: true,
+		},
+		{
+			name:        "short write on checkpoint temp",
+			rules:       []Rule{{Op: OpWrite, Match: newest, Mode: ModeShort}},
+			wantStep:    200,
+			wantSaveErr: true,
+		},
+		{
+			name:        "fsync failure on checkpoint temp",
+			rules:       []Rule{{Op: OpSync, Match: newest, Mode: ModeErr}},
+			wantStep:    200,
+			wantSaveErr: true,
+		},
+		{
+			name:        "create failure on checkpoint temp",
+			rules:       []Rule{{Op: OpCreate, Match: newest, Mode: ModeErr}},
+			wantStep:    200,
+			wantSaveErr: true,
+		},
+		{
+			name:        "crash after temp fully written, before rename",
+			rules:       []Rule{{Op: OpRename, Match: newest, Mode: ModeCrash}},
+			wantStep:    200,
+			wantSaveErr: true,
+		},
+		{
+			name:        "crash after rename, before dir fsync",
+			rules:       []Rule{{Op: OpSyncDir, Match: dir, Mode: ModeCrash}},
+			wantStep:    200,
+			wantSaveErr: true,
+		},
+		{
+			name:        "crash after checkpoint durable, before manifest update",
+			rules:       []Rule{{Op: OpCreate, Match: manifestName, Mode: ModeCrash}},
+			wantStep:    300, // unlisted-but-valid file found by the dir scan
+			wantSaveErr: true,
+		},
+		{
+			name:        "manifest fsync failure",
+			rules:       []Rule{{Op: OpSync, Match: manifestName, Mode: ModeErr}},
+			wantStep:    300,
+			wantSaveErr: true,
+		},
+		{
+			name:     "corrupt CRC on the newest checkpoint",
+			corrupt:  true,
+			wantStep: 200,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mem := NewMemFS()
+			seedStore(t, mem, dir, 100, 200)
+
+			ffs := NewFaultFS(mem, tc.rules...)
+			st, err := Open(dir, 10, 42, ffs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			saveErr := st.Save(testSnap(300, 5, 300))
+			if tc.wantSaveErr && saveErr == nil {
+				t.Fatal("fault injected but Save succeeded")
+			}
+			if !tc.wantSaveErr && saveErr != nil {
+				t.Fatalf("save: %v", saveErr)
+			}
+			if ffs.Crashed() {
+				mem.Crash() // already done by FaultFS, but idempotent and explicit
+			}
+			if tc.corrupt {
+				corruptFile(t, mem, filepath.Join(dir, FileName(300)))
+			}
+
+			// Recovery runs on the durable state with a clean filesystem,
+			// exactly like a restarted process.
+			rst, err := Open(dir, 10, 42, mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := rst.LoadLatest()
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			if c.Step() != tc.wantStep {
+				t.Fatalf("recovered step %d, want %d", c.Step(), tc.wantStep)
+			}
+		})
+	}
+}
+
+// TestRecoveryErrorsArePrecise covers the no-valid-checkpoint endgames:
+// an empty directory is ErrNoCheckpoint, a directory with only corrupt
+// files names every rejected candidate and its reason, and a manifest
+// pointing at a missing file reports exactly that.
+func TestRecoveryErrorsArePrecise(t *testing.T) {
+	const dir = "ck"
+	t.Run("only corrupt checkpoints", func(t *testing.T) {
+		mem := NewMemFS()
+		seedStore(t, mem, dir, 100, 200)
+		corruptFile(t, mem, filepath.Join(dir, FileName(100)))
+		corruptFile(t, mem, filepath.Join(dir, FileName(200)))
+		st, err := Open(dir, 10, 42, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = st.LoadLatest()
+		if err == nil || errors.Is(err, ErrNoCheckpoint) {
+			t.Fatalf("want corruption error, got %v", err)
+		}
+		for _, want := range []string{FileName(100), FileName(200), "CRC mismatch"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not mention %q", err, want)
+			}
+		}
+	})
+	t.Run("manifest lists a missing file", func(t *testing.T) {
+		mem := NewMemFS()
+		if err := mem.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		man := manifestHdr + "\n" + FileName(900) + " step=900 size=1 crc=00000000\n"
+		f, err := mem.Create(filepath.Join(dir, manifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(man)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, 10, 0, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = st.LoadLatest()
+		if err == nil || !strings.Contains(err.Error(), FileName(900)) {
+			t.Fatalf("want missing-file reason naming %s, got %v", FileName(900), err)
+		}
+	})
+	t.Run("temp files are never candidates", func(t *testing.T) {
+		mem := NewMemFS()
+		seedStore(t, mem, dir, 100)
+		// A stale temp from a dead writer must be invisible to recovery.
+		f, err := mem.Create(filepath.Join(dir, FileName(500)+tmpSuffix))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("partial")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir, 10, 42, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := st.LoadLatest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Step() != 100 {
+			t.Fatalf("recovered %d, want 100", c.Step())
+		}
+	})
+}
+
+// TestCrashAtEverySyscall is the crash-consistency sweep: a save of step
+// 200 (on top of a durable step-100 checkpoint) is killed at its 1st,
+// 2nd, 3rd … filesystem operation in turn, and after every single crash
+// point recovery must succeed and land on step 100 or step 200 — never an
+// error, never a torn in-between.
+func TestCrashAtEverySyscall(t *testing.T) {
+	const dir = "ck"
+	for k := 1; ; k++ {
+		mem := NewMemFS()
+		seedStore(t, mem, dir, 100)
+
+		ffs := NewFaultFS(mem, Rule{Op: OpAny, Nth: k, Mode: ModeCrash})
+		st, err := Open(dir, 10, 42, ffs)
+		if err != nil {
+			// Crash during Open's own scan: recovery below must still work.
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("k=%d: open: %v", k, err)
+			}
+		} else if err := st.Save(testSnap(200, 5, 200)); err != nil {
+			if !errors.Is(err, ErrCrashed) && !ffs.Crashed() {
+				t.Fatalf("k=%d: save failed without the injected crash: %v", k, err)
+			}
+		}
+
+		rst, err := Open(dir, 10, 42, mem)
+		if err != nil {
+			t.Fatalf("k=%d: recovery open: %v", k, err)
+		}
+		c, err := rst.LoadLatest()
+		if err != nil {
+			t.Fatalf("k=%d: recovery failed: %v\ndurable state:\n%s", k, err, mem.DumpDurable())
+		}
+		if got := c.Step(); got != 100 && got != 200 {
+			t.Fatalf("k=%d: recovered step %d, want 100 or 200", k, got)
+		}
+
+		if !ffs.Crashed() {
+			// The save ran to completion before the k-th op: the sweep has
+			// covered every syscall. Sanity-check the final state and stop.
+			if c.Step() != 200 {
+				t.Fatalf("uninterrupted save, but recovered step %d", c.Step())
+			}
+			if k < 8 {
+				t.Fatalf("sweep ended after only %d ops; protocol shrank suspiciously", k)
+			}
+			return
+		}
+	}
+}
+
+// TestShortWriteLeavesNoCandidate: a short write must not leave a file
+// recovery could mistake for a checkpoint (the temp is cleaned up on the
+// error path, and even if the cleanup crashed, the .tmp name is filtered).
+func TestShortWriteLeavesNoCandidate(t *testing.T) {
+	const dir = "ck"
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem, Rule{Op: OpWrite, Match: FileName(100), Mode: ModeShort})
+	st, err := Open(dir, 10, 42, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(testSnap(100, 5, 100)); err == nil {
+		t.Fatal("short write but Save succeeded")
+	}
+	rst, err := Open(dir, 10, 42, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rst.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package expt
+
+import (
+	"runtime"
+	"testing"
+
+	"tme4a/internal/ckpt"
+)
+
+// TestFig4Resume runs the kill/resume harness end to end — clean kill
+// plus torn-final-checkpoint fallback — and repeats it under serial and
+// parallel scheduling, since the resume contract is bitwise identity and
+// the engine promises the same bits at any GOMAXPROCS.
+func TestFig4Resume(t *testing.T) {
+	cfg := QuickFig4Resume()
+	if testing.Short() {
+		cfg = TinyFig4Resume()
+	}
+	for _, procs := range []int{1, 4} {
+		t.Run(name(procs), func(t *testing.T) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+
+			// A MemFS keeps the many small checkpoint files off disk and
+			// lets the torn-write crash revert to a true durable view.
+			fs := ckpt.NewMemFS()
+			res, err := RunFig4Resume(cfg, "clean", "torn", fs, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ResumedFrom != int64(cfg.KillAt) {
+				t.Errorf("clean resume from %d, want %d", res.ResumedFrom, cfg.KillAt)
+			}
+			if want := int64(cfg.KillAt - cfg.Every); res.TornResumeFrom != want {
+				t.Errorf("torn resume from %d, want %d", res.TornResumeFrom, want)
+			}
+		})
+	}
+}
+
+// TestFig4ResumeOnRealFS exercises the same harness against the real
+// filesystem (the osFS path: O_TRUNC create, rename, directory fsync).
+func TestFig4ResumeOnRealFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: MemFS variant covers the logic")
+	}
+	cfg := TinyFig4Resume()
+	dir := t.TempDir()
+	res, err := RunFig4Resume(cfg, dir+"/clean", dir+"/torn", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedFrom != int64(cfg.KillAt) || res.TornResumeFrom != int64(cfg.KillAt-cfg.Every) {
+		t.Errorf("resume points %d/%d, want %d/%d",
+			res.ResumedFrom, res.TornResumeFrom, cfg.KillAt, cfg.KillAt-cfg.Every)
+	}
+}
+
+func name(procs int) string {
+	if procs == 1 {
+		return "gomaxprocs-1"
+	}
+	return "gomaxprocs-4"
+}

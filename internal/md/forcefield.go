@@ -1,6 +1,8 @@
 package md
 
 import (
+	"fmt"
+
 	"tme4a/internal/bonded"
 	"tme4a/internal/celllist"
 	"tme4a/internal/ewald"
@@ -103,6 +105,51 @@ func (ff *ForceField) SetObs(r *obs.Recorder) {
 	if ff.cl != nil {
 		ff.cl.SetObs(r)
 	}
+}
+
+// captureResume copies the force field's cross-step caches into snap: the
+// Verlet list's build-time positions and, when a mesh term is cached for
+// multiple-timestep replay, the cached forces and energies.
+func (ff *ForceField) captureResume(sys *System, snap *Snapshot) {
+	if ff.vlist != nil {
+		if ref := ff.vlist.RefPositions(); ref != nil {
+			snap.VerletRef = append([]vec.V(nil), ref...)
+		}
+	}
+	if ff.Mesh != nil && len(ff.meshForces) == sys.N() && sys.N() > 0 {
+		snap.MeshForces = append([]vec.V(nil), ff.meshForces...)
+		snap.MeshEnergy = ff.meshEnergy
+		snap.MeshExcl = ff.meshExcl
+		snap.HasMesh = true
+	}
+}
+
+// restoreResume rebuilds the force field's cross-step caches from snap.
+// The Verlet list is re-primed by running Rebuild at the captured build
+// positions — Rebuild is deterministic in (positions, exclusions), so the
+// pair buckets and their summation order come back bitwise, where a fresh
+// build at the resume positions would reorder them. Call after
+// sys.Restore.
+func (ff *ForceField) restoreResume(sys *System, snap *Snapshot) error {
+	if len(snap.VerletRef) > 0 {
+		if ff.Skin <= 0 {
+			return fmt.Errorf("md: snapshot carries a Verlet reference but the force field runs skinless")
+		}
+		if ff.vlist == nil {
+			ff.vlist = nonbond.NewVerletList(sys.Box, ff.Rc, ff.Skin)
+			ff.vlist.SetObs(ff.Obs)
+		}
+		ff.vlist.Rebuild(snap.VerletRef, sys.Excl)
+	}
+	if snap.HasMesh {
+		if ff.Mesh == nil {
+			return fmt.Errorf("md: snapshot carries cached mesh forces but the force field has no mesh solver")
+		}
+		ff.meshForces = append(ff.meshForces[:0], snap.MeshForces...)
+		ff.meshEnergy = snap.MeshEnergy
+		ff.meshExcl = snap.MeshExcl
+	}
+	return nil
 }
 
 // Compute zeroes sys.Frc and evaluates all force-field terms, returning

@@ -1,0 +1,105 @@
+package md_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tme4a/internal/md"
+	"tme4a/internal/vec"
+	"tme4a/internal/water"
+)
+
+// fuzzSeedSnapshot builds a snapshot with every resume field populated,
+// so the seed corpus exercises the full wire format, not just the plain
+// (box, positions, velocities) core.
+func fuzzSeedSnapshot() *md.Snapshot {
+	box := water.CubicBoxFor(8)
+	sys := water.Build(2, 2, 2, box, 21)
+	sys.InitVelocities(300, rand.New(rand.NewSource(4)))
+	snap := sys.TakeSnapshot(map[string]int64{"side": 2, "seed": 21})
+	snap.Step = 137
+	snap.Frc = append([]vec.V(nil), snap.Pos...)
+	snap.VerletRef = append([]vec.V(nil), snap.Pos...)
+	snap.MeshForces = append([]vec.V(nil), snap.Vel...)
+	snap.MeshEnergy = -3.25
+	snap.MeshExcl = 1.5
+	snap.HasMesh = true
+	snap.LastE = md.Energies{Kinetic: 2.5, LJ: -1.25}
+	return snap
+}
+
+func fuzzSeedBytes(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	if err := fuzzSeedSnapshot().Encode(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotDecode asserts snapshot decoding is total: arbitrary bytes
+// either decode (and then validate and re-encode without panicking) or
+// return a clean error. A decoder panic or unbounded allocation here
+// would turn one corrupt checkpoint file into a crashed resume.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := fuzzSeedBytes(f)
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Add(valid)
+	f.Add(valid[:1])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	corrupt := bytes.Clone(valid)
+	corrupt[len(corrupt)/2] ^= 0x10
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // decode cost and allocation scale with input; cap the fuzz domain
+		}
+		snap, err := md.ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // a clean error is the correct outcome for garbage
+		}
+		// Whatever the decoder accepted must be safe to validate and to
+		// re-encode; neither may panic even if validation rejects it.
+		_ = snap.Validate()
+		var buf bytes.Buffer
+		if err := snap.Encode(&buf); err != nil {
+			t.Fatalf("re-encode of decoded snapshot failed: %v", err)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzSnapshotDecode when TME_WRITE_FUZZ_CORPUS=1 is set
+// (it is a no-op otherwise). The corpus pins a real encoded snapshot and
+// its truncations so CI fuzzing starts from format-aware inputs even
+// before any fuzz cache exists.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("TME_WRITE_FUZZ_CORPUS") != "1" {
+		t.Skip("set TME_WRITE_FUZZ_CORPUS=1 to regenerate the committed corpus")
+	}
+	valid := fuzzSeedBytes(t)
+	corrupt := bytes.Clone(valid)
+	corrupt[len(corrupt)/2] ^= 0x10
+	entries := map[string][]byte{
+		"seed-valid":          valid,
+		"seed-truncated-half": valid[:len(valid)/2],
+		"seed-truncated-tail": valid[:len(valid)-1],
+		"seed-corrupt-middle": corrupt,
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSnapshotDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range entries {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

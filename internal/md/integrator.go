@@ -111,6 +111,54 @@ func (in *Integrator) Step(sys *System) Energies {
 	return e
 }
 
+// CaptureResume captures the complete cross-step state needed to resume
+// the run bitwise: the system snapshot plus the step counter, last-step
+// forces and energies, the Verlet-list build positions and the cached
+// long-range term of a multiple-timestep schedule. Call it between steps
+// (e.g. from a Run report callback), never concurrently with Step.
+//
+// The SETTLE scratch (in.old) is deliberately not captured: it is
+// refilled from the current positions at the top of every step before
+// anything reads it, so it carries no cross-step information. A CSVR
+// thermostat's RNG state is likewise not captured — CSVR runs resume as
+// valid canonical trajectories but not bitwise-identical ones.
+func (in *Integrator) CaptureResume(sys *System, meta map[string]int64) *Snapshot {
+	snap := sys.TakeSnapshot(meta)
+	snap.Step = int64(in.stepCount)
+	if in.initialized {
+		snap.Frc = append([]vec.V(nil), sys.Frc...)
+		snap.LastE = in.lastE
+	}
+	in.FF.captureResume(sys, snap)
+	return snap
+}
+
+// RestoreResume restores a CaptureResume snapshot into sys and the
+// integrator/force-field cross-step state, so the next Step continues the
+// checkpointed trajectory bitwise. The system must have the topology the
+// snapshot was taken from (same builder, same atom count).
+func (in *Integrator) RestoreResume(sys *System, snap *Snapshot) error {
+	if err := sys.Restore(snap); err != nil {
+		return err
+	}
+	in.stepCount = int(snap.Step)
+	in.initialized = false
+	if len(snap.Frc) == sys.N() && sys.N() > 0 {
+		copy(sys.Frc, snap.Frc)
+		in.lastE = snap.LastE
+		// With the checkpointed forces in place the bootstrap Compute of
+		// the first Step must not run: it would be correct at MeshEvery=1
+		// but would recompute the mesh term a multiple-timestep schedule
+		// expects to replay from its cache.
+		in.initialized = true
+	}
+	return in.FF.restoreResume(sys, snap)
+}
+
+// StepCount returns the number of completed steps (restored across a
+// resume).
+func (in *Integrator) StepCount() int { return in.stepCount }
+
 // Run advances n steps, invoking report (if non-nil) after every step with
 // the 1-based step index and its energies.
 func (in *Integrator) Run(sys *System, n int, report func(step int, e Energies)) Energies {

@@ -177,6 +177,21 @@ func (v *VerletList) NeedsRebuild(pos []vec.V) bool {
 // NPairs returns the current buffered pair count.
 func (v *VerletList) NPairs() int { return v.npairs }
 
+// RefPositions returns the positions the current pair list was built from
+// (nil before the first Rebuild). Checkpointing captures this slice so a
+// resumed run can re-run Rebuild at exactly the build-time positions:
+// Rebuild is a pure function of (positions, exclusions), so re-priming
+// from the reference reproduces the pair buckets — and hence the per-pair
+// summation order — bitwise, instead of forcing a fresh build at the
+// resume positions that would reorder the sums. Callers must not mutate
+// the returned slice.
+func (v *VerletList) RefPositions() []vec.V {
+	if v == nil || v.n == 0 {
+		return nil
+	}
+	return v.ref[:v.n]
+}
+
 // Compute evaluates the short-range interactions over the buffered list
 // (pairs beyond the true cutoff are skipped), accumulating forces into f.
 // Exclusions were applied at Rebuild time. Parallel over slabs, bitwise

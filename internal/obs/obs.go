@@ -51,6 +51,7 @@ const (
 	StageOverlap                 // par.Do overlap window of the force terms
 	StageIntegrate               // kick/drift integration bookkeeping
 	StageStep                    // whole Integrator.Step
+	StageCheckpoint              // checkpoint encode + atomic write (outside the step)
 	NumStages                    // number of preregistered stages
 )
 
@@ -72,6 +73,7 @@ var stageNames = [NumStages]string{
 	"overlap window",
 	"integrate",
 	"step total",
+	"ckpt write",
 }
 
 // stageJSONNames are the machine-readable identifiers, indexed by Stage.
@@ -92,6 +94,7 @@ var stageJSONNames = [NumStages]string{
 	"overlap_window",
 	"integrate",
 	"step_total",
+	"ckpt_write",
 }
 
 // String returns the chart label of the stage.
@@ -122,6 +125,9 @@ const (
 	CounterFFTTransforms                 // 3D real-FFT transforms (forward + inverse)
 	CounterPoolGets                      // grid-pool Get calls
 	CounterPoolMisses                    // grid-pool Gets that had to allocate
+	CounterCkptWrites                    // checkpoints written durably
+	CounterCkptBytes                     // checkpoint bytes written durably
+	CounterCkptFailures                  // checkpoint writes that failed (fault or I/O error)
 	NumCounters                          // number of preregistered counters
 )
 
@@ -135,6 +141,22 @@ var counterJSONNames = [NumCounters]string{
 	"fft_transforms",
 	"pool_gets",
 	"pool_misses",
+	"ckpt_writes",
+	"ckpt_bytes",
+	"ckpt_failures",
+}
+
+// CounterFromJSONName maps a counter identifier (Counter.String) back to
+// its enum value; ok is false for unknown names. Checkpoint restore uses
+// this so counter state saved by an older or newer build degrades to
+// "unknown counters are dropped" instead of misattributing values.
+func CounterFromJSONName(name string) (Counter, bool) {
+	for c := Counter(0); c < NumCounters; c++ {
+		if counterJSONNames[c] == name {
+			return c, true
+		}
+	}
+	return 0, false
 }
 
 // String returns the counter's identifier.
@@ -262,6 +284,30 @@ func (r *Recorder) CounterValue(c Counter) int64 {
 		return 0
 	}
 	return r.counters[c].v.Load()
+}
+
+// CounterValues returns the current value of every counter, indexed by
+// Counter. On a nil recorder it returns nil. Checkpointing uses this to
+// carry cumulative event counts across a kill+resume.
+func (r *Recorder) CounterValues() []int64 {
+	if r == nil {
+		return nil
+	}
+	vals := make([]int64, NumCounters)
+	for c := Counter(0); c < NumCounters; c++ {
+		vals[c] = r.counters[c].v.Load()
+	}
+	return vals
+}
+
+// SetCounter stores v into counter c (absolute, not additive), the
+// restore-side counterpart of CounterValues. Not atomic with respect to
+// concurrent recording; callers quiesce the pipeline first.
+func (r *Recorder) SetCounter(c Counter, v int64) {
+	if r == nil || c >= NumCounters {
+		return
+	}
+	r.counters[c].v.Store(v)
 }
 
 // Reset zeroes every stage and counter slot. Not atomic with respect to

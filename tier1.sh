@@ -5,7 +5,9 @@
 # cell list, nonbond, md, the bonded/constraint/summation packages, and
 # the obs stage recorder whose atomic slots every parallel stage touches),
 # and a one-iteration benchmark smoke so the benchmarks themselves cannot
-# rot.
+# rot. A 30-second fuzz smoke of the snapshot decoder keeps the
+# checkpoint/restart attack surface (arbitrary bytes into GobDecode)
+# continuously exercised beyond the committed seed corpus.
 # Run from the repo root:  ./tier1.sh
 set -eux
 
@@ -18,6 +20,7 @@ go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
 	./internal/fft/ ./internal/spme/ ./internal/core/ \
 	./internal/celllist/ ./internal/nonbond/ \
 	./internal/ewald/ ./internal/msm/ ./internal/bonded/ \
-	./internal/constraint/ ./internal/obs/
+	./internal/constraint/ ./internal/obs/ ./internal/ckpt/
 go test -race -short ./internal/md/ ./internal/expt/
+go test -run '^$' -fuzz '^FuzzSnapshotDecode$' -fuzztime 30s ./internal/md/
 go test -run '^$' -bench . -benchtime 1x . ./internal/nonbond/ > /dev/null
