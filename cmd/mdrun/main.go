@@ -3,9 +3,10 @@
 //
 //	mdrun -side 10 -steps 500 -method tme -rc 1.0 -grid 16 -M 3 -gc 8
 //
-// Methods: cutoff (erfc-screened short range only), spme, tme, msm.
-// With -in, a snapshot written by watergen is used instead of building a
-// fresh box.
+// Methods: cutoff (erfc-screened short range only) plus every method in
+// the solver registry (spme, tme, msm). TME additionally selects its
+// middle-range kernel family with -kernel (gauss|useries). With -in, a
+// snapshot written by watergen is used instead of building a fresh box.
 //
 // Crash-consistent checkpointing (see DESIGN.md §7.5):
 //
@@ -25,16 +26,20 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"runtime"
 
 	"tme4a/internal/ckpt"
-	"tme4a/internal/core"
 	"tme4a/internal/md"
-	"tme4a/internal/msm"
 	"tme4a/internal/obs"
+	"tme4a/internal/solver"
 	"tme4a/internal/spme"
 	"tme4a/internal/water"
+
+	// Populate the solver registry.
+	_ "tme4a/internal/core"
+	_ "tme4a/internal/msm"
 )
 
 func main() {
@@ -42,7 +47,8 @@ func main() {
 		side    = flag.Int("side", 10, "waters per box edge when building fresh")
 		in      = flag.String("in", "", "snapshot file from watergen (optional)")
 		steps   = flag.Int("steps", 200, "total MD steps (1 fs); a resumed run does the remainder")
-		method  = flag.String("method", "tme", "long-range method: cutoff|spme|tme|msm")
+		method  = flag.String("method", "tme", "long-range method: cutoff|"+strings.Join(solver.Names(), "|"))
+		kernel  = flag.String("kernel", "", "TME middle-range kernel family: gauss|useries (default gauss)")
 		rc      = flag.Float64("rc", 1.0, "short-range cutoff (nm)")
 		gridN   = flag.Int("grid", 16, "mesh points per axis")
 		m       = flag.Int("M", 3, "TME Gaussians per shell")
@@ -63,8 +69,8 @@ func main() {
 	// Everything that shapes the trajectory goes into the config hash;
 	// a checkpoint from a run with different parameters is refused.
 	cfgHash := ckpt.ConfigHash(fmt.Sprintf(
-		"mdrun in=%q side=%d method=%s rc=%g grid=%d M=%d gc=%d L=%d T=%g nvt=%t seed=%d dt=0.001",
-		*in, *side, *method, *rc, *gridN, *m, *gc, *levels, *temp, *nvt, *seed))
+		"mdrun in=%q side=%d method=%s kernel=%s rc=%g grid=%d M=%d gc=%d L=%d T=%g nvt=%t seed=%d dt=0.001",
+		*in, *side, *method, *kernel, *rc, *gridN, *m, *gc, *levels, *temp, *nvt, *seed))
 
 	var store *ckpt.Store
 	openStore := func() *ckpt.Store {
@@ -121,19 +127,19 @@ func main() {
 	alpha := spme.AlphaFromRTol(*rc, 1e-4)
 	n := [3]int{*gridN, *gridN, *gridN}
 	var mesh md.MeshSolver
-	switch *method {
-	case "cutoff":
-		mesh = nil
-	case "spme":
-		mesh = spme.New(spme.Params{Alpha: alpha, Rc: *rc, Order: 6, N: n}, sys.Box)
-	case "tme":
-		mesh = core.New(core.Params{Alpha: alpha, Rc: *rc, Order: 6, N: n,
-			Levels: *levels, M: *m, Gc: *gc}, sys.Box)
-	case "msm":
-		mesh = msm.New(msm.Params{Alpha: alpha, Rc: *rc, Order: 6, N: n,
-			Levels: *levels, Gc: *gc}, sys.Box)
-	default:
-		fatalf("unknown method %q", *method)
+	if *kernel != "" && *method != "tme" {
+		fatalf("-kernel selects the TME middle-range family and applies only to -method tme")
+	}
+	if *method != "cutoff" {
+		s, err := solver.New(*method, solver.Config{
+			Alpha: alpha, Rc: *rc, Order: 6, N: n,
+			Levels: *levels, M: *m, Gc: *gc, Kernel: *kernel,
+		}, sys.Box)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(s.Describe())
+		mesh = s
 	}
 
 	integ := &md.Integrator{

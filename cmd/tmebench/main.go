@@ -4,6 +4,7 @@
 //	tmebench -exp fig3a      Gaussian-sum approximation of g_{α,l} (Fig 3a)
 //	tmebench -exp fig3b      approximation error vs M (Fig 3b)
 //	tmebench -exp table1     relative force errors of SPME and TME (Table 1)
+//	tmebench -exp shootout   kernel-family accuracy/cost shootout (GL vs u-series)
 //	tmebench -exp fig4       NVE total-energy stability (Fig 4)
 //	tmebench -exp fig4resume crash/resume bitwise-identity harness
 //	tmebench -exp fig9       single-step machine time chart (Fig 9)
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,fig4,fig4resume,fig9,fig9live,fig10,overlap,table2,costmodel,grid64,whatif,all")
+	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,shootout,fig4,fig4resume,fig9,fig9live,fig10,overlap,table2,costmodel,grid64,whatif,all")
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
 	outDir := flag.String("out", "results", "output directory ('' = stdout only)")
 	flag.Parse()
@@ -42,7 +43,7 @@ func main() {
 	runner := &runner{full: *full, outDir: *outDir}
 	exps := []string{*exp}
 	if *exp == "all" {
-		exps = []string{"fig3a", "fig3b", "table1", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif"}
+		exps = []string{"fig3a", "fig3b", "table1", "shootout", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif"}
 	}
 	for _, e := range exps {
 		if err := runner.run(e); err != nil {
@@ -118,6 +119,14 @@ func (r *runner) run(exp string) error {
 		w, done := r.out("table1.csv")
 		defer done()
 		expt.RunTable1(cfg, w)
+	case "shootout":
+		cfg := expt.QuickShootout()
+		if r.full {
+			cfg = expt.FullShootout()
+		}
+		w, done := r.out("shootout.csv")
+		defer done()
+		expt.RunShootout(cfg, w)
 	case "fig4":
 		cfg := expt.QuickFig4()
 		if r.full {

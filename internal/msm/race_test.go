@@ -1,0 +1,7 @@
+//go:build race
+
+package msm
+
+// raceEnabled disables allocation-count assertions under the race
+// detector, whose instrumentation allocates on sync.Pool operations.
+const raceEnabled = true

@@ -23,9 +23,11 @@ import (
 	"tme4a/internal/vec"
 )
 
-// maxOrder is the largest supported B-spline order; the hot loops use
-// fixed [maxOrder]float64 weight scratch to stay allocation-free.
-const maxOrder = 16
+// MaxOrder is the largest supported B-spline order; the hot loops use
+// fixed [MaxOrder]float64 weight scratch to stay allocation-free.
+// Params.Validate in the solver packages checks against it so a bad
+// -order reaches the user as an error before construction panics here.
+const MaxOrder = 16
 
 // Mesher spreads charges onto, and gathers potentials from, a periodic
 // N[0]×N[1]×N[2] mesh over box using order-p central B-splines.
@@ -51,8 +53,8 @@ func NewMesher(p int, n [3]int, box vec.Box) *Mesher {
 	if p < 2 || p%2 != 0 {
 		panic(fmt.Sprintf("pmesh: order must be even and >= 2, got %d", p))
 	}
-	if p > maxOrder {
-		panic(fmt.Sprintf("pmesh: order must be <= %d (fixed weight scratch), got %d", maxOrder, p))
+	if p > MaxOrder {
+		panic(fmt.Sprintf("pmesh: order must be <= %d (fixed weight scratch), got %d", MaxOrder, p))
 	}
 	m := &Mesher{P: p, N: n, Box: box}
 	for j := 0; j < 3; j++ {
@@ -110,7 +112,7 @@ func (m *Mesher) assignSlab(g *grid.G, pos []vec.V, q []float64, zlo, zhi int) {
 	p := m.P
 	nx, ny, nz := m.N[0], m.N[1], m.N[2]
 	full := zlo == 0 && zhi == nz
-	var wx, wy, wz, d [maxOrder]float64
+	var wx, wy, wz, d [MaxOrder]float64
 	for i, r := range pos {
 		qi := q[i]
 		if qi == 0 {
@@ -212,7 +214,7 @@ func (m *Mesher) interpolateChunks(phi *grid.G, pos []vec.V, q []float64, f []ve
 //tme:noalloc
 func (m *Mesher) interpolateRange(phi *grid.G, pos []vec.V, q []float64, f []vec.V, lo, hi int) float64 {
 	p := m.P
-	var wx, wy, wz, dx, dy, dz [maxOrder]float64
+	var wx, wy, wz, dx, dy, dz [MaxOrder]float64
 	nx, ny, nz := m.N[0], m.N[1], m.N[2]
 	var energy float64
 	for i := lo; i < hi; i++ {
@@ -260,7 +262,7 @@ func (m *Mesher) interpolateRange(phi *grid.G, pos []vec.V, q []float64, f []vec
 // (used by tests and diagnostics).
 func (m *Mesher) PotentialAt(phi *grid.G, r vec.V) float64 {
 	p := m.P
-	var wx, wy, wz, d [maxOrder]float64
+	var wx, wy, wz, d [MaxOrder]float64
 	mx := bspline.Weights(p, r[0]*m.invH[0], wx[:p], d[:p])
 	my := bspline.Weights(p, r[1]*m.invH[1], wy[:p], d[:p])
 	mz := bspline.Weights(p, r[2]*m.invH[2], wz[:p], d[:p])

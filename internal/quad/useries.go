@@ -1,0 +1,124 @@
+package quad
+
+import (
+	"fmt"
+	"math"
+)
+
+// USeriesMaxM is the largest Gaussian count with a tabulated geometric
+// ratio; USeries panics beyond it (core.Params.Validate reports the error
+// before construction reaches this point).
+const USeriesMaxM = 4
+
+// useriesCenter and useriesRatio tabulate, per Gaussian count m, the
+// center width τ_c and geometric ratio b of the u-series node layout
+// τ_v = τ_c·b^{v−(m−1)/2}. The ratios were fitted offline by minimizing
+// the force-norm objective of uSeriesWeights over (τ_c, b); the center
+// settles on the geometric midpoint 1/√2 of the shell's width octave
+// [1/2, 1] for every m ≥ 2.
+var useriesCenter = [USeriesMaxM + 1]float64{1: 0.72, 2: 1 / math.Sqrt2, 3: 1 / math.Sqrt2, 4: 1 / math.Sqrt2}
+var useriesRatio = [USeriesMaxM + 1]float64{1: 1, 2: 1.476, 3: 1.302, 4: 1.208}
+
+// USeries returns the m-term u-series decomposition of the normalized
+// middle-range Ewald shell
+//
+//	Ĝ(x) = [erf(x) − erf(x/2)]/x  ≈  Σ_v c_v·exp(−(τ_v·x)²),
+//
+// with x = α·r, so that g_{α,1}(r) ≈ α·Σ_v c_v·exp(−(τ_v·α·r)²). Following
+// Predescu et al. (the u-series), the Gaussian widths form a geometric
+// progression — the property that lets one kernel table serve every level
+// of a multilevel mesh by self-similarity — and all widths stay inside the
+// shell's bounded support octave [α/2, α], so grid-kernel truncation at g_c
+// behaves no worse than for the Gauss–Legendre family. Unlike Eq. (7)'s
+// Gauss–Legendre rule, which fixes weights by integration exactness, the
+// u-series weights solve a small constrained least-squares system that
+// minimizes the force-error functional ∫ (d/dx residual)²·x² dx — the
+// quantity the Table-1 metric actually measures — which is why the family
+// achieves a lower force RMS error per term (M ≤ 3) than Gauss–Legendre.
+//
+// Nodes and weights are dimensionless and α-independent; both slices are
+// freshly allocated (constructor-time cost only, never on a hot path).
+func USeries(m int) (tau, c []float64) {
+	if m < 1 || m > USeriesMaxM {
+		panic(fmt.Sprintf("quad: u-series ratios are tabulated for 1 <= m <= %d, got %d", USeriesMaxM, m))
+	}
+	tau = make([]float64, m)
+	for v := 0; v < m; v++ {
+		e := float64(v) - float64(m-1)/2
+		tau[v] = useriesCenter[m] * math.Pow(useriesRatio[m], e)
+	}
+	return tau, uSeriesWeights(tau)
+}
+
+// uSeriesWeights solves the normal equations of the force-weighted fit
+//
+//	min_c Σ_x x²·Δx·[Σ_v c_v·φ′_v(x) − Ĝ′(x)]²,  φ_v(x) = exp(−(τ_v·x)²),
+//
+// on the fixed grid x ∈ (0, 8.25] with Δx = 0.005 (≈ 3 decay lengths of
+// the widest Gaussian; the integrand is numerically zero beyond). The grid,
+// the summation order and the elimination pivoting are all deterministic,
+// so the weights are bitwise reproducible across runs and platforms.
+func uSeriesWeights(tau []float64) []float64 {
+	m := len(tau)
+	G := make([][]float64, m)
+	for u := range G {
+		G[u] = make([]float64, m)
+	}
+	rhs := make([]float64, m)
+	phiP := make([]float64, m)
+	const (
+		dx   = 0.005
+		xmax = 8.25
+	)
+	steps := int(math.Round(xmax / dx))
+	for i := 1; i <= steps; i++ {
+		x := float64(i) * dx
+		w := x * x * dx
+		// Ĝ′(x), analytically.
+		gp := 2/math.SqrtPi*(math.Exp(-x*x)-0.5*math.Exp(-x*x/4))/x -
+			(math.Erf(x)-math.Erf(x/2))/(x*x)
+		for v := 0; v < m; v++ {
+			tv := tau[v]
+			phiP[v] = -2 * tv * tv * x * math.Exp(-tv*tv*x*x)
+		}
+		for u := 0; u < m; u++ {
+			rhs[u] += w * phiP[u] * gp
+			for v := 0; v < m; v++ {
+				G[u][v] += w * phiP[u] * phiP[v]
+			}
+		}
+	}
+	return solveDense(G, rhs)
+}
+
+// solveDense solves the small (m ≤ USeriesMaxM) linear system A·x = b by
+// Gaussian elimination with partial pivoting, in place.
+func solveDense(A [][]float64, b []float64) []float64 {
+	n := len(b)
+	for i := 0; i < n; i++ {
+		p := i
+		for k := i + 1; k < n; k++ {
+			if math.Abs(A[k][i]) > math.Abs(A[p][i]) {
+				p = k
+			}
+		}
+		A[i], A[p] = A[p], A[i]
+		b[i], b[p] = b[p], b[i]
+		for k := i + 1; k < n; k++ {
+			f := A[k][i] / A[i][i]
+			for j := i; j < n; j++ {
+				A[k][j] -= f * A[i][j]
+			}
+			b[k] -= f * b[i]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= A[i][j] * x[j]
+		}
+		x[i] = s / A[i][i]
+	}
+	return x
+}

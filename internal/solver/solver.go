@@ -1,0 +1,122 @@
+// Package solver is the registry of long-range electrostatics solvers.
+//
+// Every mesh method in this repository — SPME, the paper's TME, and the
+// B-spline MSM comparator — computes the same thing: the mesh + self part
+// of the periodic Coulomb energy with forces accumulated into a caller
+// buffer. This package names that contract (the Molly.jl/AtomsCalculators
+// "calculator" idiom: one energy_forces entry point per interchangeable
+// method) and lets the implementations register constructors under their
+// method names, so callers select a solver per run from a string without
+// importing — or even knowing — the concrete packages.
+//
+// The implementations register themselves from init functions
+// (internal/spme, internal/core, internal/msm); a caller that wants the
+// full registry imports them for effect:
+//
+//	import (
+//	    _ "tme4a/internal/core"
+//	    _ "tme4a/internal/msm"
+//	    _ "tme4a/internal/spme"
+//	)
+//	mesh, err := solver.New("tme", solver.Config{...}, box)
+//
+// Constructors validate their parameter subset via the per-package
+// Params.Validate methods and return errors — never panic — so a CLI can
+// turn a bad -method/-kernel/-grid combination into a usage message.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tme4a/internal/md"
+	"tme4a/internal/obs"
+	"tme4a/internal/vec"
+)
+
+// Config is the superset of the registered solvers' parameters; each
+// constructor maps the subset it understands onto its package Params and
+// validates it there. Field semantics follow core.Params.
+type Config struct {
+	Alpha  float64 // Ewald splitting parameter (nm⁻¹)
+	Rc     float64 // short-range cutoff (nm)
+	Order  int     // B-spline order p (even)
+	N      [3]int  // finest grid dimensions
+	Levels int     // middle-range levels (TME/MSM)
+	M      int     // Gaussians per middle-range shell (TME)
+	Gc     int     // grid-kernel cutoff (TME/MSM)
+	Kernel string  // middle-range kernel family (TME): "", "gauss", "useries"
+}
+
+// Solver extends the md.MeshSolver calculator contract with
+// self-description, so a run header or results table can state exactly
+// which method and parameters produced it.
+//
+// Two optional hooks are discovered by interface assertion, never
+// required: ObsWirer (per-stage timing; all three registered solvers
+// implement it) and resume hooks, which live at the md.ForceField layer —
+// solvers are stateless between steps by design, so checkpoint/restart
+// needs nothing from them (DESIGN.md §7.5).
+type Solver interface {
+	md.MeshSolver
+	// Describe returns a one-line human-readable description of the
+	// configured method and its parameters.
+	Describe() string
+}
+
+// ObsWirer is the optional instrumentation hook: a solver that implements
+// it propagates a stage recorder to its meshers, pools and sub-solvers
+// (nil detaches). md.ForceField.SetObs performs the same assertion.
+type ObsWirer interface {
+	SetObs(*obs.Recorder)
+}
+
+// Constructor builds a configured solver for a box, returning an error —
+// not panicking — on invalid parameters.
+type Constructor func(cfg Config, box vec.Box) (Solver, error)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Constructor{}
+)
+
+// Register adds a named constructor to the registry. It is intended for
+// package init functions; registering an empty name, a nil constructor or
+// a duplicate name is a programming error and panics.
+func Register(name string, c Constructor) {
+	if name == "" || c == nil {
+		panic("solver: Register needs a non-empty name and a non-nil constructor")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solver: method %q registered twice", name))
+	}
+	registry[name] = c
+}
+
+// New constructs the named solver. Unknown names and invalid
+// configurations come back as errors suitable for a CLI usage message.
+func New(name string, cfg Config, box vec.Box) (Solver, error) {
+	regMu.Lock()
+	c := registry[name]
+	regMu.Unlock()
+	if c == nil {
+		return nil, fmt.Errorf("solver: unknown method %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	return c(cfg, box)
+}
+
+// Names returns the registered method names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry { //tmevet:ignore detmap -- key collection, sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

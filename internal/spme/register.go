@@ -1,0 +1,18 @@
+package spme
+
+import (
+	"tme4a/internal/solver"
+	"tme4a/internal/vec"
+)
+
+// init registers SPME under "spme". The registry subset ignores the TME
+// fields of the shared config (Levels, M, Gc, Kernel).
+func init() {
+	solver.Register("spme", func(cfg solver.Config, box vec.Box) (solver.Solver, error) {
+		prm := Params{Alpha: cfg.Alpha, Rc: cfg.Rc, Order: cfg.Order, N: cfg.N}
+		if err := prm.Validate(); err != nil {
+			return nil, err
+		}
+		return New(prm, box), nil
+	})
+}

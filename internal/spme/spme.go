@@ -33,6 +33,30 @@ type Params struct {
 	N     [3]int  // grid dimensions (powers of two)
 }
 
+// Validate reports the first invalid parameter as an error. New panics on
+// the same conditions; the solver registry surfaces them as errors.
+func (p Params) Validate() error {
+	if !(p.Alpha > 0) {
+		return fmt.Errorf("spme: Alpha must be positive, got %g", p.Alpha)
+	}
+	if !(p.Rc > 0) {
+		return fmt.Errorf("spme: Rc must be positive, got %g", p.Rc)
+	}
+	if p.Order%2 != 0 || p.Order < 2 || p.Order > pmesh.MaxOrder {
+		return fmt.Errorf("spme: order must be even and in [2, %d], got %d", pmesh.MaxOrder, p.Order)
+	}
+	for jx := 0; jx < 3; jx++ {
+		n := p.N[jx]
+		if n < p.Order {
+			return fmt.Errorf("spme: grid dim %d smaller than spline order %d", n, p.Order)
+		}
+		if n&(n-1) != 0 {
+			return fmt.Errorf("spme: grid dim %d is not a power of two (required by the real FFT plan)", n)
+		}
+	}
+	return nil
+}
+
 // AlphaFromRTol returns the splitting parameter α satisfying
 // erfc(α·rc) = rtol, the convention of GROMACS' ewald-rtol input
 // (the paper uses rtol = 1e-4).
@@ -79,10 +103,12 @@ func (s *Solver) SetObs(r *obs.Recorder) {
 	s.pool.SetObs(r)
 }
 
-// New precomputes an SPME solver for the box.
+// New precomputes an SPME solver for the box. It panics on invalid
+// parameters; use Params.Validate (or the solver registry) to get the same
+// conditions as errors.
 func New(prm Params, box vec.Box) *Solver {
-	if prm.Order%2 != 0 || prm.Order < 2 {
-		panic(fmt.Sprintf("spme: order must be even and >= 2, got %d", prm.Order))
+	if err := prm.Validate(); err != nil {
+		panic(err.Error())
 	}
 	s := &Solver{
 		Prm:    prm,
@@ -141,6 +167,12 @@ func freq(m, n int) float64 {
 		return float64(m)
 	}
 	return float64(m - n)
+}
+
+// Describe returns a one-line description of the configured method.
+func (s *Solver) Describe() string {
+	return fmt.Sprintf("spme: alpha=%g rc=%g order=%d grid=%dx%dx%d",
+		s.Prm.Alpha, s.Prm.Rc, s.Prm.Order, s.Prm.N[0], s.Prm.N[1], s.Prm.N[2])
 }
 
 // Green returns the precomputed lattice Green function over the grid

@@ -2,8 +2,10 @@
 # Tier-1 gate: formatting, vet, the tmevet invariant linter, build, full
 # test suite, then the race detector over the parallelized packages (grid
 # ops, particle mesh, FFT, TME core, SPME, par, the short-range stack:
-# cell list, nonbond, md, the bonded/constraint/summation packages, and
-# the obs stage recorder whose atomic slots every parallel stage touches),
+# cell list, nonbond, md, the bonded/constraint/summation packages, the
+# obs stage recorder whose atomic slots every parallel stage touches, the
+# quadrature tables and the solver registry whose round-trip tests drive
+# every registered method's parallel pipeline),
 # and a one-iteration benchmark smoke so the benchmarks themselves cannot
 # rot. A 30-second fuzz smoke of the snapshot decoder keeps the
 # checkpoint/restart attack surface (arbitrary bytes into GobDecode)
@@ -20,7 +22,8 @@ go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
 	./internal/fft/ ./internal/spme/ ./internal/core/ \
 	./internal/celllist/ ./internal/nonbond/ \
 	./internal/ewald/ ./internal/msm/ ./internal/bonded/ \
-	./internal/constraint/ ./internal/obs/ ./internal/ckpt/
+	./internal/constraint/ ./internal/obs/ ./internal/ckpt/ \
+	./internal/quad/ ./internal/solver/
 go test -race -short ./internal/md/ ./internal/expt/
 go test -run '^$' -fuzz '^FuzzSnapshotDecode$' -fuzztime 30s ./internal/md/
 go test -run '^$' -bench . -benchtime 1x . ./internal/nonbond/ > /dev/null
