@@ -15,6 +15,7 @@
 //	tmebench -exp costmodel  Sec III.C cost model + strong-scaling curves
 //	tmebench -exp grid64     64³ (L=2) projection (Sec VI.A)
 //	tmebench -exp whatif     Sec VI.B design-space accelerations
+//	tmebench -exp saturate   mdserve multi-tenant saturation sweep
 //	tmebench -exp all        everything above
 //
 // By default experiments run at single-host ("quick") scale, which
@@ -24,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,shootout,fig4,fig4resume,fig9,fig9live,fig10,overlap,table2,costmodel,grid64,whatif,all")
+	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,shootout,fig4,fig4resume,fig9,fig9live,fig10,overlap,table2,costmodel,grid64,whatif,saturate,all")
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
 	outDir := flag.String("out", "results", "output directory ('' = stdout only)")
 	flag.Parse()
@@ -43,7 +45,7 @@ func main() {
 	runner := &runner{full: *full, outDir: *outDir}
 	exps := []string{*exp}
 	if *exp == "all" {
-		exps = []string{"fig3a", "fig3b", "table1", "shootout", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif"}
+		exps = []string{"fig3a", "fig3b", "table1", "shootout", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif", "saturate"}
 	}
 	for _, e := range exps {
 		if err := runner.run(e); err != nil {
@@ -189,6 +191,24 @@ func (r *runner) run(exp string) error {
 		w, done := r.out("whatif.csv")
 		defer done()
 		expt.RunWhatIf(r.hwContext(), w)
+	case "saturate":
+		w, done := r.out("saturate.csv")
+		defer done()
+		points, err := expt.RunSaturate(expt.QuickSaturate(), w)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create("BENCH_serve.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": "saturate", "points": points}); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_serve.json")
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -116,12 +116,26 @@ func (m *MemFS) ReadDir(dir string) ([]string, error) {
 	if !m.dirs[dir] {
 		return nil, &os.PathError{Op: "open", Path: dir, Err: os.ErrNotExist}
 	}
-	var names []string
+	// Like os.ReadDir, list both child files and child directories. A
+	// directory is a child if it was registered via MkdirAll or is implied
+	// by a deeper live path.
+	seen := make(map[string]bool)
 	prefix := dir + string(filepath.Separator)
 	for name := range m.live {
-		if rest, ok := strings.CutPrefix(name, prefix); ok && !strings.Contains(rest, string(filepath.Separator)) {
-			names = append(names, rest)
+		if rest, ok := strings.CutPrefix(name, prefix); ok {
+			child, _, _ := strings.Cut(rest, string(filepath.Separator))
+			seen[child] = true
 		}
+	}
+	for d := range m.dirs {
+		if rest, ok := strings.CutPrefix(d, prefix); ok {
+			child, _, _ := strings.Cut(rest, string(filepath.Separator))
+			seen[child] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names, nil

@@ -8,20 +8,22 @@ import (
 // init registers TME under "tme" so importing this package for effect is
 // enough to select it by name through the solver registry.
 func init() {
-	solver.Register("tme", func(cfg solver.Config, box vec.Box) (solver.Solver, error) {
-		prm := Params{
-			Alpha:  cfg.Alpha,
-			Rc:     cfg.Rc,
-			Order:  cfg.Order,
-			N:      cfg.N,
-			Levels: cfg.Levels,
-			M:      cfg.M,
-			Gc:     cfg.Gc,
-			Kernel: KernelFamily(cfg.Kernel),
-		}
-		if err := prm.Validate(); err != nil {
-			return nil, err
-		}
-		return New(prm, box), nil
-	})
+	solver.Register("tme",
+		"tensor-structured multilevel Ewald (the paper's method): separable Gaussian-sum or u-series middle-range kernels over a level hierarchy, SPME top solve",
+		func(cfg solver.Config, box vec.Box) (solver.Solver, error) {
+			prm := Params{
+				Alpha:  cfg.Alpha,
+				Rc:     cfg.Rc,
+				Order:  cfg.Order,
+				N:      cfg.N,
+				Levels: cfg.Levels,
+				M:      cfg.M,
+				Gc:     cfg.Gc,
+				Kernel: KernelFamily(cfg.Kernel),
+			}
+			if err := prm.Validate(); err != nil {
+				return nil, err
+			}
+			return New(prm, box), nil
+		})
 }

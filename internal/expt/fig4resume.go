@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
@@ -120,26 +119,7 @@ func (cfg Fig4ResumeConfig) integrator(box vec.Box) *md.Integrator {
 
 // stateHash digests the full dynamic state (positions and velocities,
 // raw float64 bits) so per-step comparisons are exact, not tolerance-based.
-func stateHash(sys *md.System) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	word := func(x float64) {
-		u := math.Float64bits(x)
-		for i := 0; i < 8; i++ {
-			b[i] = byte(u >> (8 * i))
-		}
-		h.Write(b[:])
-	}
-	for i := range sys.Pos {
-		for k := 0; k < 3; k++ {
-			word(sys.Pos[i][k])
-		}
-		for k := 0; k < 3; k++ {
-			word(sys.Vel[i][k])
-		}
-	}
-	return h.Sum64()
-}
+func stateHash(sys *md.System) uint64 { return md.StateHash(sys) }
 
 // RunFig4Resume executes the experiment using checkpoint stores rooted at
 // cleanDir and tornDir (distinct directories on fsys; nil fsys uses the

@@ -1,0 +1,135 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"tme4a/internal/serve"
+	"tme4a/internal/serve/loadgen"
+)
+
+// SaturateConfig parameterizes the mdserve saturation sweep: the same job
+// fleet is pushed through the daemon at increasing concurrent-box counts,
+// measuring how throughput and tail step latency respond as more
+// simulations share the one worker pool.
+type SaturateConfig struct {
+	// Levels are the concurrent-box counts to sweep (MaxActive and client
+	// concurrency per level).
+	Levels []int
+	// Jobs is the fleet size per level (identical across levels so the
+	// per-seed trajectories are comparable).
+	Jobs int
+	// Spec is the job template; seeds Spec.Seed..Spec.Seed+Jobs-1.
+	Spec serve.Spec
+	// Quantum is the scheduler quantum in steps.
+	Quantum int
+}
+
+// QuickSaturate is the single-host sweep: a small TME box fleet over
+// 1/2/4/8 concurrent boxes.
+func QuickSaturate() SaturateConfig {
+	return SaturateConfig{
+		Levels:  []int{1, 2, 4, 8},
+		Jobs:    8,
+		Spec:    serve.Spec{Method: "tme", Side: 2, Steps: 25, Equil: 10, Seed: 900},
+		Quantum: 5,
+	}
+}
+
+// SaturatePoint is one row of the sweep.
+type SaturatePoint struct {
+	Boxes      int     `json:"boxes"`
+	Jobs       int     `json:"jobs"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50StepNs  int64   `json:"p50_step_ns"`
+	P99StepNs  int64   `json:"p99_step_ns"`
+	StepsDone  int64   `json:"steps_done"`
+	Rejected   int     `json:"rejected"`
+}
+
+// RunSaturate runs the sweep. Each level boots a fresh daemon on a
+// loopback listener and drives it with the load generator over real HTTP.
+// Beyond the timings it enforces the service determinism contract: every
+// seed's final-state hash must be identical at every concurrency level —
+// a job's bits must not depend on how many neighbors it shared the pool
+// with.
+func RunSaturate(cfg SaturateConfig, w io.Writer) ([]SaturatePoint, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	fmt.Fprintf(w, "# mdserve saturation: %d jobs per level, %s side=%d steps=%d quantum=%d\n",
+		cfg.Jobs, cfg.Spec.Method, cfg.Spec.Side, cfg.Spec.Steps, cfg.Quantum)
+	fmt.Fprintf(w, "boxes,jobs,jobs_per_sec,p50_step_us,p99_step_us,steps_done,rejected\n")
+
+	points := make([]SaturatePoint, 0, len(cfg.Levels))
+	var refHashes map[int64]string
+	for _, level := range cfg.Levels {
+		pt, hashes, err := runSaturateLevel(cfg, level)
+		if err != nil {
+			return points, fmt.Errorf("level %d: %w", level, err)
+		}
+		if refHashes == nil {
+			refHashes = hashes
+		} else {
+			for seed, want := range refHashes {
+				if got := hashes[seed]; got != want {
+					return points, fmt.Errorf("level %d: seed %d hash %s differs from level %d's %s — concurrency leaked into a trajectory",
+						level, seed, got, cfg.Levels[0], want)
+				}
+			}
+		}
+		points = append(points, pt)
+		fmt.Fprintf(w, "%d,%d,%.3f,%.1f,%.1f,%d,%d\n",
+			pt.Boxes, pt.Jobs, pt.JobsPerSec,
+			float64(pt.P50StepNs)/1e3, float64(pt.P99StepNs)/1e3, pt.StepsDone, pt.Rejected)
+	}
+	fmt.Fprintf(w, "# per-seed final hashes identical across all %d levels\n", len(cfg.Levels))
+	return points, nil
+}
+
+// runSaturateLevel boots one daemon with MaxActive=level and pushes the
+// fleet through it, returning the measured point and seed→hash map.
+func runSaturateLevel(cfg SaturateConfig, level int) (SaturatePoint, map[int64]string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return SaturatePoint{}, nil, err
+	}
+	sched, err := serve.New(serve.Config{MaxActive: level, QueueCap: cfg.Jobs + 1, Quantum: cfg.Quantum})
+	if err != nil {
+		ln.Close()
+		return SaturatePoint{}, nil, err
+	}
+	sched.Start()
+	srv := &http.Server{Handler: serve.NewServer(sched)}
+	go srv.Serve(ln) //nolint:errcheck // closed below
+
+	res, lerr := loadgen.Run(loadgen.Config{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Jobs:        cfg.Jobs,
+		Concurrency: level,
+		Spec:        cfg.Spec,
+	})
+	srv.Close() //nolint:errcheck // also closes ln
+	hashes := make(map[int64]string, cfg.Jobs)
+	for _, st := range sched.List() {
+		hashes[st.Spec.Seed] = st.FinalHash
+	}
+	sched.Close()
+	if lerr != nil {
+		return SaturatePoint{}, nil, lerr
+	}
+	if res.Completed != cfg.Jobs {
+		return SaturatePoint{}, nil, fmt.Errorf("%d of %d jobs completed (failed %d)", res.Completed, cfg.Jobs, res.Failed)
+	}
+	return SaturatePoint{
+		Boxes:      level,
+		Jobs:       cfg.Jobs,
+		JobsPerSec: res.JobsPerSec,
+		P50StepNs:  res.P50StepNs,
+		P99StepNs:  res.P99StepNs,
+		StepsDone:  res.StepsDone,
+		Rejected:   res.Rejected,
+	}, hashes, nil
+}

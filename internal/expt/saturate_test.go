@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tme4a/internal/serve"
+)
+
+// TestRunSaturateSmoke runs a tiny two-level sweep end to end — real
+// listener, real HTTP, real scheduler — and checks the measurements and
+// the cross-level hash equality the sweep itself enforces.
+func TestRunSaturateSmoke(t *testing.T) {
+	cfg := SaturateConfig{
+		Levels:  []int{1, 2},
+		Jobs:    4,
+		Spec:    serve.Spec{Method: "cutoff", Side: 2, Steps: 20, Equil: 10, Seed: 700},
+		Quantum: 5,
+	}
+	var buf bytes.Buffer
+	points, err := RunSaturate(cfg, &buf)
+	if err != nil {
+		t.Fatalf("RunSaturate: %v\n%s", err, buf.String())
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, pt := range points {
+		if pt.JobsPerSec <= 0 {
+			t.Errorf("level %d: jobs/sec = %g", pt.Boxes, pt.JobsPerSec)
+		}
+		if pt.P99StepNs < pt.P50StepNs || pt.P50StepNs <= 0 {
+			t.Errorf("level %d: latency p50 %d p99 %d", pt.Boxes, pt.P50StepNs, pt.P99StepNs)
+		}
+		if pt.StepsDone < int64(cfg.Jobs*cfg.Spec.Steps) {
+			t.Errorf("level %d: steps_done %d, want >= %d", pt.Boxes, pt.StepsDone, cfg.Jobs*cfg.Spec.Steps)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "boxes,jobs,jobs_per_sec") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "hashes identical") {
+		t.Errorf("missing determinism footer:\n%s", out)
+	}
+}

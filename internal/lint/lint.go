@@ -83,6 +83,12 @@ var numericPkgs = map[string]bool{
 	"internal/constraint": true,
 	"internal/quad":       true,
 	"internal/solver":     true,
+	// The serve tier holds job tables and renders listings; a map-range
+	// leak there would make job ordering, traces or API output vary
+	// between runs, so it gets the same determinism checks as the
+	// numeric core.
+	"internal/serve":         true,
+	"internal/serve/loadgen": true,
 }
 
 // noclockExempt are packages where wall-clock reads are the point

@@ -8,18 +8,20 @@ import (
 // init registers B-spline MSM under "msm". The registry subset ignores the
 // TME-only fields of the shared config (M, Kernel).
 func init() {
-	solver.Register("msm", func(cfg solver.Config, box vec.Box) (solver.Solver, error) {
-		prm := Params{
-			Alpha:  cfg.Alpha,
-			Rc:     cfg.Rc,
-			Order:  cfg.Order,
-			N:      cfg.N,
-			Levels: cfg.Levels,
-			Gc:     cfg.Gc,
-		}
-		if err := prm.Validate(); err != nil {
-			return nil, err
-		}
-		return New(prm, box), nil
-	})
+	solver.Register("msm",
+		"B-spline multilevel summation: real-space level hierarchy comparator, SPME top solve",
+		func(cfg solver.Config, box vec.Box) (solver.Solver, error) {
+			prm := Params{
+				Alpha:  cfg.Alpha,
+				Rc:     cfg.Rc,
+				Order:  cfg.Order,
+				N:      cfg.N,
+				Levels: cfg.Levels,
+				Gc:     cfg.Gc,
+			}
+			if err := prm.Validate(); err != nil {
+				return nil, err
+			}
+			return New(prm, box), nil
+		})
 }

@@ -24,3 +24,10 @@ func seamEpoch() time.Time { return time.Now() }
 //
 //tme:clock-seam
 func monotonicNow() int64 { return int64(time.Since(epoch)) }
+
+// Now returns monotonic nanoseconds since process start — the sanctioned
+// clock for code outside the experiment harnesses that must measure wall
+// latency (the serve tier's per-step samples). It reads the same seam as
+// the recorder's default clock, so the noclock invariant stays intact:
+// every clock read in internal/ flows through this file.
+func Now() int64 { return monotonicNow() }

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tme4a/internal/solver"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(s))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts, s
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPLifecycle walks the full API: submit, status, list, metrics,
+// energies, stream, stats — and checks the served result is bitwise equal
+// to the direct run.
+func TestHTTPLifecycle(t *testing.T) {
+	ts, s := newTestServer(t, Config{})
+	s.Start()
+
+	resp, data := postJob(t, ts, `{"method":"cutoff","side":2,"steps":40,"equil":10,"seed":5}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+st.ID {
+		t.Errorf("Location = %q", loc)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck at %s step %d", st.State, st.Step)
+		}
+		time.Sleep(2 * time.Millisecond)
+		getJSON(t, ts.URL+"/jobs/"+st.ID, &st)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state %s err %q", st.State, st.Error)
+	}
+	direct, err := (Spec{Method: "cutoff", Side: 2, Steps: 40, Equil: 10, Seed: 5}).RunDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalHash != fmt.Sprintf("%016x", direct) {
+		t.Errorf("served hash %s != direct %016x", st.FinalHash, direct)
+	}
+	if st.LastEnergy == nil || st.LastEnergy.Step != 40 {
+		t.Errorf("last energy missing or stale: %+v", st.LastEnergy)
+	}
+
+	var list []Status
+	getJSON(t, ts.URL+"/jobs", &list)
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Errorf("list: %+v", list)
+	}
+
+	var metrics struct {
+		Atoms  int `json:"atoms"`
+		Stages []struct {
+			Count int64 `json:"count"`
+		} `json:"stages"`
+	}
+	getJSON(t, ts.URL+"/jobs/"+st.ID+"/metrics", &metrics)
+	if metrics.Atoms != 24 || len(metrics.Stages) == 0 {
+		t.Errorf("metrics: %+v", metrics)
+	}
+
+	var energies struct {
+		Rows []EnergyPoint `json:"rows"`
+		Next int           `json:"next"`
+	}
+	getJSON(t, ts.URL+"/jobs/"+st.ID+"/energies", &energies)
+	if len(energies.Rows) == 0 || energies.Next != len(energies.Rows) {
+		t.Errorf("energies: %+v", energies)
+	}
+
+	streamResp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := io.ReadAll(streamResp.Body)
+	streamResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if lines[0] != "step,potential,kinetic,total" {
+		t.Errorf("stream header: %q", lines[0])
+	}
+	if len(lines)-1 != len(energies.Rows) {
+		t.Errorf("stream has %d rows, ledger %d", len(lines)-1, len(energies.Rows))
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Completed != 1 || stats.StepLatency.Samples == 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+}
+
+// TestHTTPValidation pins the 4xx mapping: every malformed submission is
+// rejected with the validation message in the JSON error body.
+func TestHTTPValidation(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	cases := []struct {
+		name, body, wantErr string
+		wantCode            int
+	}{
+		{"bad json", `{`, "decoding spec", 400},
+		{"unknown field", `{"steps":10,"sides":4}`, "unknown field", 400},
+		{"unknown method", `{"method":"pppm","steps":10}`, "unknown method", 400},
+		{"unknown kernel", `{"method":"tme","kernel":"cauchy","steps":10}`, "unknown kernel family", 400},
+		{"bad grid", `{"method":"spme","grid":17,"steps":10}`, "not a power of two", 400},
+		{"negative steps", `{"steps":-1}`, "must be positive", 400},
+		{"zero steps", `{"method":"cutoff"}`, "must be positive", 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJob(t, ts, tc.body)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.wantCode, data)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(data, &e); err != nil {
+				t.Fatalf("error body not JSON: %s", data)
+			}
+			if !strings.Contains(e.Error, tc.wantErr) {
+				t.Errorf("error %q, want substring %q", e.Error, tc.wantErr)
+			}
+		})
+	}
+	if resp := getJSON(t, ts.URL+"/jobs/j999999", nil); resp.StatusCode != 404 {
+		t.Errorf("unknown job: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPBackpressure checks a full queue answers 429.
+func TestHTTPBackpressure(t *testing.T) {
+	ts, _ := newTestServer(t, Config{QueueCap: 1}) // never started: jobs stay queued
+	if resp, data := postJob(t, ts, `{"method":"cutoff","side":2,"steps":10}`); resp.StatusCode != 201 {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, data)
+	}
+	resp, data := postJob(t, ts, `{"method":"cutoff","side":2,"steps":10}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: %d %s, want 429", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPCancelAndMethods covers DELETE and the registry listing.
+func TestHTTPCancelAndMethods(t *testing.T) {
+	ts, _ := newTestServer(t, Config{}) // not started: cancel hits the queued path
+	_, data := postJob(t, ts, `{"method":"cutoff","side":2,"steps":1000}`)
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled Status
+	json.NewDecoder(resp.Body).Decode(&canceled) //nolint:errcheck // checked below
+	resp.Body.Close()
+	if resp.StatusCode != 200 || canceled.State != StateCanceled {
+		t.Errorf("cancel: %d %+v", resp.StatusCode, canceled)
+	}
+
+	var methods []solver.Method
+	getJSON(t, ts.URL+"/methods", &methods)
+	names := make([]string, len(methods))
+	for i, m := range methods {
+		names[i] = m.Name
+		if m.Doc == "" {
+			t.Errorf("method %s has no doc", m.Name)
+		}
+	}
+	if strings.Join(names, ",") != "msm,spme,tme" {
+		t.Errorf("methods = %v, want sorted [msm spme tme]", names)
+	}
+
+	var ok map[string]bool
+	getJSON(t, ts.URL+"/healthz", &ok)
+	if !ok["ok"] {
+		t.Errorf("healthz: %v", ok)
+	}
+}

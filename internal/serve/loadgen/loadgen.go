@@ -1,0 +1,199 @@
+// Package loadgen is the mdserve load generator: it drives a running
+// daemon over plain HTTP — the same path a real client takes — submitting
+// a fleet of jobs from a bounded worker pool and reporting service-side
+// throughput and step-latency quantiles. The saturation experiment
+// (tmebench -exp saturate) sweeps it across concurrency levels to produce
+// BENCH_serve.json.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tme4a/internal/obs"
+	"tme4a/internal/serve"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8612".
+	BaseURL string
+	// Jobs is the total number of submissions.
+	Jobs int
+	// Concurrency is the client worker count (concurrent submit+poll
+	// loops). Defaults to 1.
+	Concurrency int
+	// Spec is the job template; each submission gets Spec.Seed+i so the
+	// daemon runs distinct trajectories.
+	Spec serve.Spec
+	// PollEvery is the status poll interval. Defaults to 5ms.
+	PollEvery time.Duration
+}
+
+// Result is one load run's outcome.
+type Result struct {
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed"`
+	Rejected    int     `json:"rejected"` // 429 backpressure responses observed
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	// Step latency quantiles from the daemon's own ring (GET /stats),
+	// covering every step it served during the run.
+	P50StepNs int64 `json:"p50_step_ns"`
+	P99StepNs int64 `json:"p99_step_ns"`
+	StepsDone int64 `json:"steps_done"`
+}
+
+// Run submits cfg.Jobs jobs from cfg.Concurrency workers and blocks until
+// every submission reaches a terminal state. Backpressure (429) is
+// retried after a poll interval and counted, not treated as failure.
+func Run(cfg Config) (Result, error) {
+	if cfg.Jobs <= 0 {
+		return Result{}, fmt.Errorf("loadgen: jobs must be positive, got %d", cfg.Jobs)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 5 * time.Millisecond
+	}
+	client := &http.Client{}
+
+	type outcome struct {
+		done     bool
+		rejected int
+		err      error
+	}
+	work := make(chan int, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		work <- i
+	}
+	close(work)
+	results := make(chan outcome, cfg.Jobs)
+
+	t0 := obs.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		go func() {
+			for i := range work {
+				o := outcome{}
+				sp := cfg.Spec
+				sp.Seed += int64(i)
+				id, rejected, err := submit(client, cfg, sp)
+				o.rejected = rejected
+				if err != nil {
+					o.err = err
+					results <- o
+					continue
+				}
+				st, err := await(client, cfg, id)
+				if err != nil {
+					o.err = err
+				} else {
+					o.done = st.State == serve.StateDone
+				}
+				results <- o
+			}
+		}()
+	}
+
+	var res Result
+	res.Jobs = cfg.Jobs
+	res.Concurrency = cfg.Concurrency
+	var firstErr error
+	for i := 0; i < cfg.Jobs; i++ {
+		o := <-results
+		res.Rejected += o.rejected
+		switch {
+		case o.err != nil:
+			res.Failed++
+			if firstErr == nil {
+				firstErr = o.err
+			}
+		case o.done:
+			res.Completed++
+		default:
+			res.Failed++
+		}
+	}
+	res.ElapsedNs = obs.Now() - t0
+	if res.ElapsedNs > 0 {
+		res.JobsPerSec = float64(res.Completed) / (float64(res.ElapsedNs) / 1e9)
+	}
+
+	var stats serve.Stats
+	if err := getJSON(client, cfg.BaseURL+"/stats", &stats); err == nil {
+		res.P50StepNs = stats.StepLatency.P50Ns
+		res.P99StepNs = stats.StepLatency.P99Ns
+		res.StepsDone = stats.StepsDone
+	} else if firstErr == nil {
+		firstErr = err
+	}
+	return res, firstErr
+}
+
+// submit POSTs the spec, retrying 429 responses, and returns the job id
+// plus the number of backpressure rejections absorbed.
+func submit(client *http.Client, cfg Config, sp serve.Spec) (string, int, error) {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return "", 0, err
+	}
+	rejected := 0
+	for {
+		resp, err := client.Post(cfg.BaseURL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", rejected, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", rejected, err
+		}
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			var st serve.Status
+			if err := json.Unmarshal(data, &st); err != nil {
+				return "", rejected, err
+			}
+			return st.ID, rejected, nil
+		case http.StatusTooManyRequests:
+			rejected++
+			time.Sleep(cfg.PollEvery)
+		default:
+			return "", rejected, fmt.Errorf("loadgen: submit: %s: %s", resp.Status, data)
+		}
+	}
+}
+
+// await polls the job until it reaches a terminal state.
+func await(client *http.Client, cfg Config, id string) (serve.Status, error) {
+	for {
+		var st serve.Status
+		if err := getJSON(client, cfg.BaseURL+"/jobs/"+id, &st); err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		time.Sleep(cfg.PollEvery)
+	}
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body) //nolint:errcheck // best-effort error detail
+		return fmt.Errorf("loadgen: GET %s: %s: %s", url, resp.Status, data)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

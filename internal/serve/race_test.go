@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAPIStress drives at least eight concurrent jobs through
+// submit/step/metrics/cancel while API readers hammer every query path.
+// Its real assertions run under tier1's -race pass: the scheduler loop,
+// the HTTP-facing snapshots and the durability writes must share the job
+// table without a single unsynchronized access.
+func TestConcurrentAPIStress(t *testing.T) {
+	s, err := New(Config{MaxActive: 8, QueueCap: 32, Quantum: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+
+	const jobs = 12
+	ids := make(chan string, jobs)
+	var wg sync.WaitGroup
+
+	// Submitters race each other and the scheduler's promotion loop.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < jobs/4; i++ {
+				st, err := s.Submit(fastSpec(int64(100+10*w+i), 60))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				ids <- st.ID
+			}
+		}(w)
+	}
+
+	// Readers poll every query surface while jobs run.
+	done := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, st := range s.List() {
+					s.Get(st.ID)            //nolint:errcheck // racing a cancel
+					s.Metrics(st.ID, 4)     //nolint:errcheck // racing a cancel
+					s.Energies(st.ID, 0, 8) //nolint:errcheck // racing a cancel
+				}
+				s.Stats()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// A canceler kills every third job mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for id := range ids {
+			n++
+			if n%3 == 0 {
+				s.Cancel(id) //nolint:errcheck // may already be done
+			}
+			if n == jobs {
+				close(ids)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		stats := s.Stats()
+		if stats.Completed+stats.Failed+stats.Canceled == jobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled: %+v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+
+	stats := s.Stats()
+	if stats.Failed != 0 {
+		for _, st := range s.List() {
+			if st.State == StateFailed {
+				t.Errorf("job %s failed: %s", st.ID, st.Error)
+			}
+		}
+	}
+	if got := stats.Completed + stats.Canceled; got != jobs {
+		t.Errorf("%d jobs terminal, want %d (%+v)", got, jobs, stats)
+	}
+	// Completed jobs must still match their direct twins, even after all
+	// that concurrency.
+	for _, st := range s.List() {
+		if st.State != StateDone {
+			continue
+		}
+		direct, err := st.Spec.RunDirect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FinalHash != fmt.Sprintf("%016x", direct) {
+			t.Errorf("job %s: served %s direct %016x", st.ID, st.FinalHash, direct)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDecodeSpecStrict pins the strict decode contract: typos, trailing
+// garbage and oversized documents are hard errors.
+func TestDecodeSpecStrict(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"minimal", `{"method":"cutoff","steps":10}`, ""},
+		{"unknown field", `{"method":"cutoff","steps":10,"sides":4}`, "unknown field"},
+		{"trailing data", `{"steps":10}{"steps":20}`, "trailing data"},
+		{"not json", `steps=10`, "decoding spec"},
+		{"wrong type", `{"steps":"ten"}`, "decoding spec"},
+		{"oversize", `{"name":"` + strings.Repeat("x", maxSpecBytes) + `"}`, "limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec([]byte(tc.body))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("DecodeSpec: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("DecodeSpec error %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateTable drives every rejected field through Normalize+Validate
+// — the exact path a POST /jobs body takes — and checks the solver
+// packages' own Params.Validate messages surface verbatim.
+func TestValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"unknown method", func(sp *Spec) { sp.Method = "pppm" }, "unknown method"},
+		{"unknown kernel", func(sp *Spec) { sp.Method = "tme"; sp.Kernel = "cauchy" }, "unknown kernel family"},
+		{"kernel on non-tme", func(sp *Spec) { sp.Method = "spme"; sp.Kernel = "gauss" }, "applies only to method tme"},
+		{"side too small", func(sp *Spec) { sp.Side = 1 }, "side 1 out of range"},
+		{"side too large", func(sp *Spec) { sp.Side = 100 }, "side 100 out of range"},
+		{"zero steps", func(sp *Spec) { sp.Steps = 0 }, "steps 0 must be positive"},
+		{"negative steps", func(sp *Spec) { sp.Steps = -5 }, "steps -5 must be positive"},
+		{"steps budget", func(sp *Spec) { sp.Steps = maxSteps + 1 }, "exceeds"},
+		{"negative dt", func(sp *Spec) { sp.Dt = -0.001 }, "dt"},
+		{"huge dt", func(sp *Spec) { sp.Dt = 1 }, "dt"},
+		{"rc beyond half box", func(sp *Spec) { sp.Rc = 10 }, "rc 10"},
+		{"negative rc", func(sp *Spec) { sp.Rc = -1 }, "rc -1"},
+		{"negative skin", func(sp *Spec) { sp.Skin = -0.1 }, "skin"},
+		{"fat skin", func(sp *Spec) { sp.Skin = 2 }, "skin"},
+		{"mesh_every", func(sp *Spec) { sp.MeshEvery = 99 }, "mesh_every"},
+		{"cold start", func(sp *Spec) { sp.Temp = -3 }, "temp"},
+		{"hot start", func(sp *Spec) { sp.Temp = 5000 }, "temp"},
+		{"negative equil", func(sp *Spec) { sp.Equil = -1 }, "equil"},
+		{"equil budget", func(sp *Spec) { sp.Equil = maxEquil + 1 }, "equil"},
+		// Errors owned by the solver packages, surfaced verbatim.
+		{"spme non-pow2 grid", func(sp *Spec) { sp.Method = "spme"; sp.Grid = 17 }, "not a power of two"},
+		{"tme grid vs levels", func(sp *Spec) { sp.Method = "tme"; sp.Grid = 20; sp.Levels = 3 }, "not divisible"},
+		{"useries M range", func(sp *Spec) { sp.Method = "tme"; sp.Kernel = "useries"; sp.M = 40 }, "u-series"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := Spec{Method: "cutoff", Side: 2, Steps: 50}
+			tc.mutate(&sp)
+			sp.Normalize()
+			err := sp.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNormalizeStable checks Normalize is idempotent and the config hash
+// is invariant under a store/decode round trip — the property the
+// checkpoint guard depends on across daemon restarts.
+func TestNormalizeStable(t *testing.T) {
+	sp := Spec{Method: "tme", Side: 3, Steps: 100}
+	sp.Normalize()
+	h1 := sp.ConfigHash()
+	again := sp
+	again.Normalize()
+	if again != sp {
+		t.Fatalf("Normalize not idempotent: %+v vs %+v", again, sp)
+	}
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Normalize()
+	if back.ConfigHash() != h1 {
+		t.Fatalf("config hash drifted across marshal round trip: %016x vs %016x", back.ConfigHash(), h1)
+	}
+}
+
+// FuzzJobSpecDecode fuzzes the submission decoder: arbitrary bytes must
+// never panic, and any accepted document must survive a normalize →
+// marshal → decode round trip with an identical spec and config hash.
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"method":"tme","steps":200}`))
+	f.Add([]byte(`{"method":"cutoff","side":2,"steps":10,"seed":7}`))
+	f.Add([]byte(`{"method":"spme","grid":32,"steps":50,"dt":0.002,"rc":0.5}`))
+	f.Add([]byte(`{"method":"tme","kernel":"useries","m":6,"levels":2,"steps":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"steps":1e9}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		sp.Normalize()
+		if verr := sp.Validate(); verr != nil {
+			return // rejected specs only need a clean error
+		}
+		out, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("valid spec failed to marshal: %v (%+v)", err, sp)
+		}
+		back, err := DecodeSpec(out)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v on %s", err, out)
+		}
+		back.Normalize()
+		if back != sp {
+			t.Fatalf("round trip changed the spec: %+v vs %+v", back, sp)
+		}
+		if back.ConfigHash() != sp.ConfigHash() {
+			t.Fatalf("round trip changed the config hash")
+		}
+	})
+}

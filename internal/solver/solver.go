@@ -77,15 +77,23 @@ type ObsWirer interface {
 // not panicking — on invalid parameters.
 type Constructor func(cfg Config, box vec.Box) (Solver, error)
 
+// entry is one registered method: its constructor plus the one-line doc
+// the listing endpoints render.
+type entry struct {
+	doc  string
+	ctor Constructor
+}
+
 var (
 	regMu    sync.Mutex
-	registry = map[string]Constructor{}
+	registry = map[string]entry{}
 )
 
-// Register adds a named constructor to the registry. It is intended for
-// package init functions; registering an empty name, a nil constructor or
-// a duplicate name is a programming error and panics.
-func Register(name string, c Constructor) {
+// Register adds a named constructor with a one-line description to the
+// registry. It is intended for package init functions; registering an
+// empty name, a nil constructor or a duplicate name is a programming
+// error and panics.
+func Register(name, doc string, c Constructor) {
 	if name == "" || c == nil {
 		panic("solver: Register needs a non-empty name and a non-nil constructor")
 	}
@@ -94,19 +102,19 @@ func Register(name string, c Constructor) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("solver: method %q registered twice", name))
 	}
-	registry[name] = c
+	registry[name] = entry{doc: doc, ctor: c}
 }
 
 // New constructs the named solver. Unknown names and invalid
 // configurations come back as errors suitable for a CLI usage message.
 func New(name string, cfg Config, box vec.Box) (Solver, error) {
 	regMu.Lock()
-	c := registry[name]
+	e, ok := registry[name]
 	regMu.Unlock()
-	if c == nil {
+	if !ok {
 		return nil, fmt.Errorf("solver: unknown method %q (registered: %s)", name, strings.Join(Names(), ", "))
 	}
-	return c(cfg, box)
+	return e.ctor(cfg, box)
 }
 
 // Names returns the registered method names, sorted.
@@ -119,4 +127,34 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Method is one row of the registry listing.
+type Method struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// Methods returns every registered method with its description, sorted by
+// name — the order is deterministic, never the map's iteration order, so
+// API listings and usage strings built on it are byte-stable across runs.
+func Methods() []Method {
+	names := Names()
+	regMu.Lock()
+	defer regMu.Unlock()
+	ms := make([]Method, len(names))
+	for i, name := range names {
+		ms[i] = Method{Name: name, Doc: registry[name].doc}
+	}
+	return ms
+}
+
+// Describe renders the registry listing, one "name: doc" line per method
+// in sorted name order. Repeated calls return identical strings.
+func Describe() string {
+	var b strings.Builder
+	for _, m := range Methods() {
+		fmt.Fprintf(&b, "%s: %s\n", m.Name, m.Doc)
+	}
+	return b.String()
 }

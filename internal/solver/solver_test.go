@@ -194,6 +194,46 @@ func TestNamesSorted(t *testing.T) {
 	}
 }
 
+// TestMethodsDeterministic pins the registry listing surface the serve
+// tier exposes at /methods: Methods() and Describe() are sorted by name,
+// carry a doc line per method, and never vary run to run (no map-range
+// ordering leak).
+func TestMethodsDeterministic(t *testing.T) {
+	ref := solver.Methods()
+	if len(ref) != len(solver.Names()) {
+		t.Fatalf("Methods() has %d entries, Names() %d", len(ref), len(solver.Names()))
+	}
+	for i, name := range solver.Names() {
+		if ref[i].Name != name {
+			t.Errorf("Methods()[%d] = %q, want %q (sorted order)", i, ref[i].Name, name)
+		}
+		if ref[i].Doc == "" {
+			t.Errorf("method %q registered without a doc line", ref[i].Name)
+		}
+	}
+	refDesc := solver.Describe()
+	for trial := 0; trial < 50; trial++ {
+		got := solver.Methods()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("Methods() ordering varies: trial %d entry %d = %+v, want %+v", trial, i, got[i], ref[i])
+			}
+		}
+		if d := solver.Describe(); d != refDesc {
+			t.Fatalf("Describe() varies between calls:\n%s\nvs\n%s", d, refDesc)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(refDesc, "\n"), "\n")
+	if len(lines) != len(ref) {
+		t.Fatalf("Describe() has %d lines for %d methods:\n%s", len(lines), len(ref), refDesc)
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, ref[i].Name+": ") {
+			t.Errorf("Describe() line %d = %q, want prefix %q", i, line, ref[i].Name+": ")
+		}
+	}
+}
+
 // TestObsWiring smoke-checks that SetObs round-trips on every registered
 // solver without panicking, attached and detached.
 func TestObsWiring(t *testing.T) {

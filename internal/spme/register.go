@@ -8,11 +8,13 @@ import (
 // init registers SPME under "spme". The registry subset ignores the TME
 // fields of the shared config (Levels, M, Gc, Kernel).
 func init() {
-	solver.Register("spme", func(cfg solver.Config, box vec.Box) (solver.Solver, error) {
-		prm := Params{Alpha: cfg.Alpha, Rc: cfg.Rc, Order: cfg.Order, N: cfg.N}
-		if err := prm.Validate(); err != nil {
-			return nil, err
-		}
-		return New(prm, box), nil
-	})
+	solver.Register("spme",
+		"smooth particle-mesh Ewald: B-spline charge assignment, single FFT grid solve",
+		func(cfg solver.Config, box vec.Box) (solver.Solver, error) {
+			prm := Params{Alpha: cfg.Alpha, Rc: cfg.Rc, Order: cfg.Order, N: cfg.N}
+			if err := prm.Validate(); err != nil {
+				return nil, err
+			}
+			return New(prm, box), nil
+		})
 }

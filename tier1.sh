@@ -4,12 +4,14 @@
 # ops, particle mesh, FFT, TME core, SPME, par, the short-range stack:
 # cell list, nonbond, md, the bonded/constraint/summation packages, the
 # obs stage recorder whose atomic slots every parallel stage touches, the
-# quadrature tables and the solver registry whose round-trip tests drive
-# every registered method's parallel pipeline),
+# quadrature tables, the solver registry whose round-trip tests drive
+# every registered method's parallel pipeline, and the serve tier whose
+# scheduler loop shares the job table with concurrent API readers),
 # and a one-iteration benchmark smoke so the benchmarks themselves cannot
-# rot. A 30-second fuzz smoke of the snapshot decoder keeps the
-# checkpoint/restart attack surface (arbitrary bytes into GobDecode)
-# continuously exercised beyond the committed seed corpus.
+# rot. Fuzz smokes of the snapshot decoder (30s) and the job-spec decoder
+# (15s) keep both byte-level attack surfaces (arbitrary bytes into
+# GobDecode, arbitrary JSON into the daemon) continuously exercised beyond
+# the committed seed corpora.
 # Run from the repo root:  ./tier1.sh
 set -eux
 
@@ -23,7 +25,9 @@ go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
 	./internal/celllist/ ./internal/nonbond/ \
 	./internal/ewald/ ./internal/msm/ ./internal/bonded/ \
 	./internal/constraint/ ./internal/obs/ ./internal/ckpt/ \
-	./internal/quad/ ./internal/solver/
+	./internal/quad/ ./internal/solver/ \
+	./internal/serve/ ./internal/serve/loadgen/
 go test -race -short ./internal/md/ ./internal/expt/
 go test -run '^$' -fuzz '^FuzzSnapshotDecode$' -fuzztime 30s ./internal/md/
+go test -run '^$' -fuzz '^FuzzJobSpecDecode$' -fuzztime 15s ./internal/serve/
 go test -run '^$' -bench . -benchtime 1x . ./internal/nonbond/ > /dev/null
