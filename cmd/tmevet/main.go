@@ -1,24 +1,35 @@
 // Command tmevet is the project's static analyzer. It enforces the
-// determinism, hot-path, and parallel-safety invariants of the simulation
-// code: no map-order iteration in numeric packages (detmap), no
-// wall-clock or global-random-source reads in simulation paths (noclock),
-// no allocation constructs in //tme:noalloc functions (noalloc), no
+// determinism, hot-path, parallel-safety, and (since ISSUE 8)
+// concurrency/durability invariants of the simulation code: no map-order
+// iteration in numeric packages (detmap), no discarded errors on
+// durability/wire paths (errdrop), no unjoinable goroutines in the service
+// tier (goleak), no wall-clock or global-random-source reads in simulation
+// paths (noclock), no allocation constructs in //tme:noalloc functions —
+// including through the call graph (noalloc, noalloc-ipa), no
 // unpartitioned writes to captured state in par worker closures
-// (parwrite), and no exported mutable package-level state in numeric
-// packages (mutflag).
+// (parwrite), no exported mutable package-level state in numeric packages
+// (mutflag), and no mutation of //tme:owner fields outside the owner
+// goroutine's call tree (schedown).
 //
 // Usage:
 //
-//	go run ./cmd/tmevet [-list] [packages]
+//	go run ./cmd/tmevet [-list] [-json] [-baseline file] [-write-baseline] [packages]
 //
 // Packages follow the go tool's pattern syntax ("./...", "./internal/...",
 // a plain directory), resolved against the enclosing module. With no
-// arguments it analyzes "./...". Exit status is 1 when any diagnostic is
-// reported, 2 on usage or load errors.
+// arguments it analyzes "./...".
+//
+//	-json            emit a deterministic machine-readable report on stdout
+//	-baseline file   silence findings recorded in the committed baseline;
+//	                 stale entries (matching nothing) are noted on stderr
+//	-write-baseline  rewrite the -baseline file to cover current findings
+//
+// Exit status is 1 when any non-baselined diagnostic is reported, 2 on
+// usage or load errors.
 //
 // Findings are suppressed line-by-line with
 // "//tmevet:ignore <check>[,<check>...] -- rationale" on the offending
-// line or the line above. See DESIGN.md §7.3.
+// line or the line above. See DESIGN.md §7.3 and §7.8.
 package main
 
 import (
@@ -33,17 +44,24 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list registered checks and exit")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable report on stdout")
+	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file from current findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tmevet [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: tmevet [-list] [-json] [-baseline file] [-write-baseline] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, c := range lint.Checks() {
-			fmt.Printf("%-10s %s\n", c.Name, c.Doc)
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
 		}
 		return
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "tmevet: -write-baseline requires -baseline")
+		os.Exit(2)
 	}
 
 	root, err := findModuleRoot()
@@ -69,15 +87,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tmevet:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		pos := d.Pos
-		if r, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			pos.Filename = r
+
+	if *writeBaseline {
+		b := lint.FromDiagnostics(root, diags)
+		if err := b.Save(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "tmevet:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Check, d.Message)
+		fmt.Fprintf(os.Stderr, "tmevet: wrote %d baseline entrie(s) to %s\n", len(b.Entries), *baselinePath)
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "tmevet: %d finding(s)\n", len(diags))
+
+	kept, baselined := diags, []lint.Diagnostic(nil)
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmevet:", err)
+			os.Exit(2)
+		}
+		var stale []lint.BaselineEntry
+		kept, baselined, stale = b.Apply(root, diags)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "tmevet: stale baseline entry (fixed? remove it): %s %s: %s\n", e.Check, e.File, e.Message)
+		}
+	}
+
+	if *jsonOut {
+		data, err := lint.NewReport(root, kept, baselined).Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmevet:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(data) //tmevet:ignore errdrop -- report emission; a failed stdout write has nowhere to go
+	} else {
+		for _, d := range kept {
+			pos := d.Pos
+			pos.Filename = lint.RelPath(root, pos.Filename)
+			fmt.Printf("%s: %s: %s\n", pos, d.Check, d.Message)
+		}
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "tmevet: %d finding(s)\n", len(kept))
 		os.Exit(1)
 	}
 }

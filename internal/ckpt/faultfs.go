@@ -230,12 +230,12 @@ func (ff *faultFile) Write(p []byte) (int, error) {
 	case ModeTorn:
 		// Half the buffer reaches the file and is forced durable — the
 		// page that made it to the platter — then the machine dies.
-		n, _ := ff.inner.Write(p[:len(p)/2])
-		ff.inner.Sync() //nolint:errcheck // best effort mid-crash
+		n, _ := ff.inner.Write(p[:len(p)/2]) //tmevet:ignore errdrop -- deliberate torn-write simulation; the injected ErrCrashed is the result
+		ff.inner.Sync()                      //tmevet:ignore errdrop -- best effort mid-crash; the machine dies next
 		ff.fs.crash()
 		return n, ErrCrashed
 	case ModeShort:
-		n, _ := ff.inner.Write(p[:len(p)/2])
+		n, _ := ff.inner.Write(p[:len(p)/2]) //tmevet:ignore errdrop -- deliberate short-write simulation; ErrInjected is the result
 		return n, ErrInjected
 	default: // ModeErr
 		return 0, ErrInjected

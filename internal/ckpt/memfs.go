@@ -169,7 +169,7 @@ func (m *MemFS) DumpDurable() string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, name := range names {
-		fmt.Fprintf(&b, "%s %d\n", name, len(m.inodes[m.durable[name]].durable))
+		fmt.Fprintf(&b, "%s %d\n", name, len(m.inodes[m.durable[name]].durable)) //tmevet:ignore errdrop -- strings.Builder never errors
 	}
 	return b.String()
 }

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the committed ledger of grandfathered findings: diagnostics
+// that are real by the checks' rules but accepted for now (typically deep
+// engine helpers reached from //tme:noalloc roots, queued for hoisting).
+// Entries match by (check, file, message) — deliberately NOT by line, and
+// the interprocedural checks emit line-free messages, so a baseline
+// survives unrelated edits shifting line numbers. An entry silences every
+// diagnostic it matches; entries that match nothing are reported as stale
+// so the ledger shrinks as findings are fixed.
+type Baseline struct {
+	// Version guards the file format.
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry identifies one grandfathered finding.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"` // module-relative, slash-separated
+	Message string `json:"message"`
+}
+
+func (e BaselineEntry) key() string { return e.Check + "\x00" + e.File + "\x00" + e.Message }
+
+// less orders entries for the written file: by file, then check, then
+// message, so the ledger diffs alongside the source tree.
+func (e BaselineEntry) less(o BaselineEntry) bool {
+	if e.File != o.File {
+		return e.File < o.File
+	}
+	if e.Check != o.Check {
+		return e.Check < o.Check
+	}
+	return e.Message < o.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline
+// (the common case for a clean repo), any other error is fatal.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Apply splits diagnostics into kept (must be fixed) and baselined
+// (grandfathered), and returns the stale entries that matched nothing.
+// root rebases diagnostic filenames to module-relative slash paths for
+// matching.
+func (b *Baseline) Apply(root string, diags []Diagnostic) (kept, baselined []Diagnostic, stale []BaselineEntry) {
+	index := map[string]*int{}
+	for i := range b.Entries {
+		index[b.Entries[i].key()] = new(int)
+	}
+	for _, d := range diags {
+		e := BaselineEntry{Check: d.Check, File: RelPath(root, d.Pos.Filename), Message: d.Message}
+		if n, ok := index[e.key()]; ok {
+			*n++
+			baselined = append(baselined, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for _, e := range b.Entries {
+		if *index[e.key()] == 0 {
+			stale = append(stale, e)
+		}
+	}
+	return kept, baselined, stale
+}
+
+// FromDiagnostics builds a baseline covering diags (for -write-baseline),
+// deduplicated and sorted.
+func FromDiagnostics(root string, diags []Diagnostic) *Baseline {
+	seen := map[string]bool{}
+	b := &Baseline{Version: 1}
+	for _, d := range diags {
+		e := BaselineEntry{Check: d.Check, File: RelPath(root, d.Pos.Filename), Message: d.Message}
+		if !seen[e.key()] {
+			seen[e.key()] = true
+			b.Entries = append(b.Entries, e)
+		}
+	}
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].less(b.Entries[j]) })
+	return b
+}
+
+// Save writes the baseline as stable, human-diffable JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RelPath rebases an absolute filename to a module-relative slash path;
+// paths outside root (or already relative) pass through slash-normalized.
+func RelPath(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !isUpward(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+func isUpward(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}

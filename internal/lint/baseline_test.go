@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineDiag(file string, line int, check, msg string) Diagnostic {
+	d := Diagnostic{Check: check, Message: msg}
+	d.Pos.Filename = file
+	d.Pos.Line = line
+	return d
+}
+
+// TestBaselineApply covers the three-way split: matched findings are
+// silenced, unmatched ones kept, and entries matching nothing surface as
+// stale. Matching is by (check, file, message) — never by line — so a
+// baselined finding survives unrelated edits shifting it.
+func TestBaselineApply(t *testing.T) {
+	b := &Baseline{Version: 1, Entries: []BaselineEntry{
+		{Check: "noalloc-ipa", File: "internal/md/x.go", Message: "grandfathered"},
+		{Check: "errdrop", File: "internal/ckpt/y.go", Message: "long gone"},
+	}}
+	diags := []Diagnostic{
+		baselineDiag("/repo/internal/md/x.go", 10, "noalloc-ipa", "grandfathered"),
+		baselineDiag("/repo/internal/md/x.go", 99, "noalloc-ipa", "grandfathered"), // line moved: still matched
+		baselineDiag("/repo/internal/md/x.go", 11, "noalloc-ipa", "fresh finding"),
+		baselineDiag("/repo/internal/serve/z.go", 3, "goleak", "fresh too"),
+	}
+	kept, baselined, stale := b.Apply("/repo", diags)
+	if len(kept) != 2 || kept[0].Message != "fresh finding" || kept[1].Message != "fresh too" {
+		t.Fatalf("kept = %v, want the two fresh findings", kept)
+	}
+	if len(baselined) != 2 {
+		t.Fatalf("baselined = %v, want both matched findings", baselined)
+	}
+	if len(stale) != 1 || stale[0].Message != "long gone" {
+		t.Fatalf("stale = %v, want the unmatched entry", stale)
+	}
+}
+
+// TestBaselineRoundTrip pins FromDiagnostics + Save + Load: the written
+// ledger is deduplicated, sorted, and silences exactly what it covers.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("/repo/b.go", 2, "errdrop", "msg-b"),
+		baselineDiag("/repo/a.go", 7, "goleak", "msg-a"),
+		baselineDiag("/repo/a.go", 9, "goleak", "msg-a"), // duplicate message: one entry
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := FromDiagnostics("/repo", diags).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %v, want 2 after dedup", b.Entries)
+	}
+	if b.Entries[0].File != "a.go" || b.Entries[1].File != "b.go" {
+		t.Fatalf("entries not sorted: %v", b.Entries)
+	}
+	kept, baselined, stale := b.Apply("/repo", diags)
+	if len(kept) != 0 || len(baselined) != 3 || len(stale) != 0 {
+		t.Fatalf("round trip: kept=%d baselined=%d stale=%d, want 0/3/0", len(kept), len(baselined), len(stale))
+	}
+}
+
+// TestBaselineMissingAndVersion: a missing file is an empty baseline; a
+// wrong version or corrupt JSON is an error, not a silent pass.
+func TestBaselineMissingAndVersion(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || len(b.Entries) != 0 {
+		t.Fatalf("missing file: got %v, %v; want empty baseline", b, err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":99,"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Fatal("unsupported version must error")
+	}
+	if err := os.WriteFile(bad, []byte(`{garbage`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Fatal("corrupt baseline must error")
+	}
+}
+
+// TestRepoBaselineIsCurrent loads the committed baseline and checks shape:
+// version 1, entries sorted and deduplicated, files module-relative. The
+// stale check itself lives in TestRepoIsClean.
+func TestRepoBaselineIsCurrent(t *testing.T) {
+	root := moduleRoot(t)
+	b, err := LoadBaseline(filepath.Join(root, "tmevet.baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i, e := range b.Entries {
+		k := e.key()
+		if seen[k] {
+			t.Errorf("duplicate baseline entry: %+v", e)
+		}
+		seen[k] = true
+		if i > 0 && e.less(b.Entries[i-1]) {
+			t.Errorf("baseline entries not sorted at %+v", e)
+		}
+		if filepath.IsAbs(e.File) {
+			t.Errorf("baseline file %q must be module-relative", e.File)
+		}
+		if ByName(e.Check) == nil {
+			t.Errorf("baseline names unknown check %q", e.Check)
+		}
+	}
+}

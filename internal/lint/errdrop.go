@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdrop guards the durability and wire paths (internal/ckpt and the
+// serve tier's persistence/HTTP encoding): an error silently discarded
+// there is how a torn checkpoint, a lost terminal marker, or a half-
+// written response turns into undetectable corruption. The check flags
+// every discarded error result:
+//
+//   - a bare call statement whose callee returns an error;
+//   - the same under `defer` or `go`;
+//   - an assignment that lands an error result in the blank identifier
+//     (`_ = f()`, `n, _ := strconv.Atoi(v)`).
+//
+// Intentional drops carry a //tmevet:ignore errdrop suppression with a
+// rationale — which is the point: every drop on a durability path is a
+// reviewed decision, not an accident.
+var errdropCheck = &Check{
+	Name: "errdrop",
+	Doc:  "discarded error result on a durability or wire path",
+	Run:  runErrdrop,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// callErrors reports whether a call yields at least one error result.
+func (p *Package) callErrors(call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+func runErrdrop(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && p.callErrors(call) {
+					diags = append(diags, p.diag(call.Pos(), "errdrop",
+						"call discards its error result on a durability/wire path; handle it or suppress with a rationale"))
+				}
+			case *ast.DeferStmt:
+				if p.callErrors(n.Call) {
+					diags = append(diags, p.diag(n.Call.Pos(), "errdrop",
+						"deferred call discards its error result; capture it or suppress with a rationale"))
+				}
+			case *ast.GoStmt:
+				if p.callErrors(n.Call) {
+					diags = append(diags, p.diag(n.Call.Pos(), "errdrop",
+						"go statement discards the spawned call's error result; collect it through a channel or suppress with a rationale"))
+				}
+			case *ast.AssignStmt:
+				diags = append(diags, p.blankErrorAssigns(n)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// blankErrorAssigns flags `_` targets whose assigned value is an error,
+// in both the tuple form (n, _ := f()) and the parallel form (_ = err).
+func (p *Package) blankErrorAssigns(as *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(id *ast.Ident) {
+		diags = append(diags, p.diag(id.Pos(), "errdrop",
+			"error result assigned to the blank identifier; handle it or suppress with a rationale"))
+	}
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok {
+			return nil
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return nil
+		}
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && isErrorType(tuple.At(i).Type()) {
+				flag(id)
+			}
+		}
+		return diags
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(as.Rhs) {
+			continue
+		}
+		if tv, ok := p.Info.Types[as.Rhs[i]]; ok && isErrorType(tv.Type) {
+			flag(id)
+		}
+	}
+	return diags
+}

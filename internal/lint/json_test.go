@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONDeterministic pins tmevet's -json contract: the encoded report
+// is byte-identical across independent runs and across file-discovery
+// order (patterns given forwards, reversed, and interleaved must all
+// produce the same bytes). CI diffs tmevet.json between runs, so a single
+// unstable map iteration would show up as noise here first.
+func TestJSONDeterministic(t *testing.T) {
+	root := moduleRoot(t)
+	forward := []string{
+		"internal/lint/testdata/src/errdrop",
+		"internal/lint/testdata/src/goleak",
+		"internal/lint/testdata/src/noalloc-ipa",
+		"internal/lint/testdata/src/schedown",
+	}
+	reversed := []string{forward[3], forward[2], forward[1], forward[0]}
+	shuffled := []string{forward[2], forward[0], forward[3], forward[1]}
+
+	encode := func(patterns []string) []byte {
+		t.Helper()
+		diags, err := Run(root, patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := NewReport(root, diags, nil).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	first := encode(forward)
+	if again := encode(forward); !bytes.Equal(first, again) {
+		t.Errorf("two identical runs produced different report bytes")
+	}
+	if rev := encode(reversed); !bytes.Equal(first, rev) {
+		t.Errorf("reversed pattern order changed the report bytes")
+	}
+	if shuf := encode(shuffled); !bytes.Equal(first, shuf) {
+		t.Errorf("shuffled pattern order changed the report bytes")
+	}
+
+	var rep Report
+	if err := json.Unmarshal(first, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Version != 1 || rep.Total == 0 || rep.Total != len(rep.Diagnostics) {
+		t.Errorf("report shape wrong: version=%d total=%d diags=%d", rep.Version, rep.Total, len(rep.Diagnostics))
+	}
+	if len(rep.Checks) != len(Checks()) {
+		t.Errorf("report lists %d checks, registry has %d", len(rep.Checks), len(Checks()))
+	}
+	for _, d := range rep.Diagnostics {
+		if d.File == "" || d.File[0] == '/' {
+			t.Errorf("diagnostic file %q is not module-relative", d.File)
+		}
+	}
+}
+
+// TestReportMergesBaselined checks the kept/baselined merge keeps
+// position order and marks entries.
+func TestReportMergesBaselined(t *testing.T) {
+	mk := func(file string, line int, check string) Diagnostic {
+		d := Diagnostic{Check: check, Message: "m"}
+		d.Pos.Filename = file
+		d.Pos.Line = line
+		return d
+	}
+	kept := []Diagnostic{mk("a.go", 2, "detmap"), mk("b.go", 9, "goleak")}
+	base := []Diagnostic{mk("a.go", 5, "errdrop")}
+	rep := NewReport("", kept, base)
+	if rep.Total != 3 || rep.Baselined != 1 {
+		t.Fatalf("total=%d baselined=%d, want 3/1", rep.Total, rep.Baselined)
+	}
+	order := []struct {
+		file string
+		line int
+		bl   bool
+	}{{"a.go", 2, false}, {"a.go", 5, true}, {"b.go", 9, false}}
+	for i, want := range order {
+		got := rep.Diagnostics[i]
+		if got.File != want.file || got.Line != want.line || got.Baselined != want.bl {
+			t.Errorf("diag[%d] = %s:%d baselined=%v, want %s:%d baselined=%v",
+				i, got.File, got.Line, got.Baselined, want.file, want.line, want.bl)
+		}
+	}
+}

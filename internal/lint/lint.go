@@ -43,11 +43,15 @@ type Check struct {
 // checks is the registry, ordered for stable output.
 var checks = []*Check{
 	detmapCheck,
+	errdropCheck,
+	goleakCheck,
 	mutflagCheck,
 	noallocCheck,
+	noallocIPACheck,
 	noclockCheck,
 	obsclockCheck,
 	parwriteCheck,
+	schedownCheck,
 }
 
 // Checks returns the registered checks in name order.
@@ -98,6 +102,24 @@ var noclockExempt = map[string]bool{
 	"internal/lint": true,
 }
 
+// errdropPkgs are the durability and wire paths (ISSUE 8): the checkpoint
+// store, whose dropped write error IS a lost checkpoint, and the serve
+// tier, whose persistence protocol and HTTP encoding sit between the
+// engine and its clients.
+var errdropPkgs = map[string]bool{
+	"internal/ckpt":  true,
+	"internal/serve": true,
+}
+
+// goleakScope covers the packages that launch goroutines as part of the
+// product (the service tier, the worker pool, and the commands): every
+// spawn there must be joinable.
+func goleakScope(rel string) bool {
+	return rel == "internal/par" || rel == "internal/serve" ||
+		strings.HasPrefix(rel, "internal/serve/") ||
+		rel == "cmd" || strings.HasPrefix(rel, "cmd/")
+}
+
 const fixturePrefix = "internal/lint/testdata/src/"
 
 // checksFor maps a module-relative package directory to the checks that
@@ -118,6 +140,12 @@ func checksFor(rel string) []*Check {
 	if numericPkgs[rel] {
 		cs = append(cs, detmapCheck, mutflagCheck)
 	}
+	if errdropPkgs[rel] {
+		cs = append(cs, errdropCheck)
+	}
+	if goleakScope(rel) {
+		cs = append(cs, goleakCheck)
+	}
 	if rel == "internal/obs" {
 		// The observability package must read the clock, so noclock is
 		// replaced by the stricter-scoped seam rule.
@@ -125,7 +153,9 @@ func checksFor(rel string) []*Check {
 	} else if strings.HasPrefix(rel, "internal/") && !noclockExempt[rel] {
 		cs = append(cs, noclockCheck)
 	}
-	cs = append(cs, noallocCheck, parwriteCheck)
+	// Annotation-driven checks run everywhere: they only fire on
+	// //tme:noalloc and //tme:owner declarations.
+	cs = append(cs, noallocCheck, noallocIPACheck, parwriteCheck, schedownCheck)
 	return cs
 }
 
@@ -142,12 +172,27 @@ func Run(root string, patterns []string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
+	// Phase 1: load every pattern package (type-checking pulls in the
+	// module-internal imports transitively), so the program-wide call
+	// graph below sees the whole module.
+	pkgs := make([]*Package, 0, len(dirs))
 	for _, dir := range dirs {
 		p, err := l.Load(dir)
 		if err != nil {
 			return nil, err
 		}
+		pkgs = append(pkgs, p)
+	}
+	// Phase 2: build the interprocedural view and share it with every
+	// loaded package (imports included, so fixture support packages get
+	// it too).
+	prog := NewProgram(l)
+	for _, p := range l.Packages() {
+		p.Prog = prog
+	}
+	// Phase 3: run the checks per pattern package.
+	var diags []Diagnostic
+	for _, p := range pkgs {
 		for _, terr := range p.TypeErrors {
 			pos := token.Position{Filename: p.Dir}
 			if te, ok := terr.(types.Error); ok {

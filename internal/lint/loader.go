@@ -38,6 +38,11 @@ type Package struct {
 	// ignores maps filename -> line -> check names suppressed on that
 	// line by a "//tmevet:ignore check[,check...]" comment.
 	ignores map[string]map[int][]string
+
+	// Prog is the whole-module call-graph view, set by Run after every
+	// package is loaded. Interprocedural checks return nothing when it is
+	// nil (e.g. a package checked in isolation by a unit test).
+	Prog *Program
 }
 
 // Loader parses and type-checks module packages on demand, resolving
@@ -69,6 +74,18 @@ func NewLoader(root string) (*Loader, error) {
 		pkgs:       map[string]*Package{},
 		loading:    map[string]bool{},
 	}, nil
+}
+
+// Packages returns every package the loader has materialized so far —
+// pattern packages plus the module-internal imports type-checking pulled
+// in — sorted by directory for deterministic iteration.
+func (l *Loader) Packages() []*Package {
+	pkgs := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs
 }
 
 // modulePath extracts the module path from a go.mod file.
@@ -249,6 +266,50 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
+// ignorePrefix introduces a line-scoped suppression comment.
+const ignorePrefix = "//tmevet:ignore"
+
+// ParseIgnoreDirective parses a "//tmevet:ignore <check>[,<check>...] --
+// rationale" comment, returning the suppressed check names. ok is false
+// when the comment is not an ignore directive at all. The grammar is
+// strict where it matters for safety: the prefix must be followed by a
+// space, tab, or end of comment (so "//tmevet:ignorexyz" is prose, not a
+// directive), and check names must match [a-z][a-z0-9-]* — a malformed
+// name suppresses nothing rather than something unintended. The rationale
+// after the first "--" is free text and ignored.
+func ParseIgnoreDirective(text string) (checks []string, ok bool) {
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return nil, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	for _, name := range strings.Split(rest, ",") {
+		if name = strings.TrimSpace(name); name != "" && validCheckName(name) {
+			checks = append(checks, name)
+		}
+	}
+	return checks, true
+}
+
+// validCheckName reports whether name matches [a-z][a-z0-9-]*.
+func validCheckName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
 // collectIgnores records every "//tmevet:ignore check[,check...]" comment
 // by file and line. A diagnostic is suppressed when such a comment naming
 // its check sits on the diagnostic's line or on the line directly above.
@@ -257,19 +318,9 @@ func (p *Package) collectIgnores() {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//tmevet:ignore")
-				if !ok {
+				checks, ok := ParseIgnoreDirective(c.Text)
+				if !ok || len(checks) == 0 {
 					continue
-				}
-				// Allow a trailing rationale after " -- ".
-				if i := strings.Index(rest, "--"); i >= 0 {
-					rest = rest[:i]
-				}
-				var checks []string
-				for _, name := range strings.Split(rest, ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						checks = append(checks, name)
-					}
 				}
 				pos := p.Fset.Position(c.Pos())
 				m := p.ignores[pos.Filename]

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -20,11 +21,12 @@ import (
 //   - go statements (goroutine launch allocates; use par).
 //
 // Type info whitelists the non-escaping cases: plain struct and array
-// value literals (vec.V{...} and friends live on the stack). The check is
-// intentionally not interprocedural — callees must carry their own
-// annotation — and testing.AllocsPerRun gates remain the runtime
-// backstop. Guarded grow-once paths ("if cap(buf) < n { buf = make... }")
-// are legitimate; suppress those lines explicitly with
+// value literals (vec.V{...} and friends live on the stack). This check
+// inspects only the annotated body itself; the companion noalloc-ipa
+// check walks the call graph so an unannotated helper cannot silently
+// reintroduce an allocation. testing.AllocsPerRun gates remain the
+// runtime backstop. Guarded grow-once paths ("if cap(buf) < n { buf =
+// make... }") are legitimate; suppress those lines explicitly with
 // //tmevet:ignore noalloc -- grow-once.
 var noallocCheck = &Check{
 	Name: "noalloc",
@@ -62,7 +64,31 @@ func runNoalloc(p *Package) []Diagnostic {
 	return diags
 }
 
-func (p *Package) checkNoallocBody(fd *ast.FuncDecl) []Diagnostic {
+// allocKind classifies one syntactic allocation source.
+type allocKind int
+
+const (
+	allocMakeNew allocKind = iota
+	allocAppend
+	allocLiteral
+	allocAddressedLiteral
+	allocClosure
+	allocGo
+)
+
+// allocSite is one allocation construct found in a function body. The
+// shared collector feeds both the per-function noalloc check and the
+// call-graph-aware noalloc-ipa check.
+type allocSite struct {
+	pos  token.Pos
+	kind allocKind
+	what string // "make", "new", or the literal's type string
+}
+
+// funcAllocs collects every allocation construct in fd's body, applying
+// the par-closure exemption (closures handed directly to a par.* worker
+// helper are the sanctioned dispatch pattern).
+func (p *Package) funcAllocs(fd *ast.FuncDecl) []allocSite {
 	// First pass: closures handed directly to par.* helpers are the
 	// sanctioned parallel-dispatch pattern; composite literals under & are
 	// heap-escape risks even for struct types.
@@ -86,14 +112,7 @@ func (p *Package) checkNoallocBody(fd *ast.FuncDecl) []Diagnostic {
 		return true
 	})
 
-	name := fd.Name.Name
-	if fd.Recv != nil && len(fd.Recv.List) > 0 {
-		if id := receiverTypeName(fd.Recv.List[0].Type); id != "" {
-			name = id + "." + name
-		}
-	}
-
-	var diags []Diagnostic
+	var sites []allocSite
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
@@ -101,11 +120,9 @@ func (p *Package) checkNoallocBody(fd *ast.FuncDecl) []Diagnostic {
 				if b, ok := p.useOf(id).(*types.Builtin); ok {
 					switch b.Name() {
 					case "make", "new":
-						diags = append(diags, p.diag(n.Pos(), "noalloc",
-							"%s in //tme:noalloc function %s allocates; preallocate or pool the buffer", b.Name(), name))
+						sites = append(sites, allocSite{n.Pos(), allocMakeNew, b.Name()})
 					case "append":
-						diags = append(diags, p.diag(n.Pos(), "noalloc",
-							"append in //tme:noalloc function %s may grow its backing array; size the buffer at rebuild time", name))
+						sites = append(sites, allocSite{n.Pos(), allocAppend, "append"})
 					}
 				}
 			}
@@ -114,27 +131,72 @@ func (p *Package) checkNoallocBody(fd *ast.FuncDecl) []Diagnostic {
 			if !ok || tv.Type == nil {
 				return true
 			}
+			ts := types.TypeString(tv.Type, types.RelativeTo(p.Pkg))
 			switch tv.Type.Underlying().(type) {
 			case *types.Slice, *types.Map:
-				diags = append(diags, p.diag(n.Pos(), "noalloc",
-					"%s literal in //tme:noalloc function %s allocates", types.TypeString(tv.Type, types.RelativeTo(p.Pkg)), name))
+				sites = append(sites, allocSite{n.Pos(), allocLiteral, ts})
 			default:
 				if addressed[n] {
-					diags = append(diags, p.diag(n.Pos(), "noalloc",
-						"&%s literal in //tme:noalloc function %s risks a heap allocation", types.TypeString(tv.Type, types.RelativeTo(p.Pkg)), name))
+					sites = append(sites, allocSite{n.Pos(), allocAddressedLiteral, ts})
 				}
 			}
 		case *ast.FuncLit:
 			if !parClosures[n] {
-				diags = append(diags, p.diag(n.Pos(), "noalloc",
-					"closure literal in //tme:noalloc function %s may allocate; only closures passed directly to par.* are exempt", name))
+				sites = append(sites, allocSite{n.Pos(), allocClosure, "closure"})
 			}
 		case *ast.GoStmt:
-			diags = append(diags, p.diag(n.Pos(), "noalloc",
-				"go statement in //tme:noalloc function %s allocates a goroutine; dispatch through par instead", name))
+			sites = append(sites, allocSite{n.Pos(), allocGo, "go statement"})
 		}
 		return true
 	})
+	return sites
+}
+
+// describe renders a site for cross-function messages ("make", "append",
+// "[]float64 literal", "closure literal", "go statement").
+func (s allocSite) describe() string {
+	switch s.kind {
+	case allocLiteral:
+		return s.what + " literal"
+	case allocAddressedLiteral:
+		return "&" + s.what + " literal"
+	case allocClosure:
+		return "closure literal"
+	default:
+		return s.what
+	}
+}
+
+func (p *Package) checkNoallocBody(fd *ast.FuncDecl) []Diagnostic {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if id := receiverTypeName(fd.Recv.List[0].Type); id != "" {
+			name = id + "." + name
+		}
+	}
+	var diags []Diagnostic
+	for _, s := range p.funcAllocs(fd) {
+		switch s.kind {
+		case allocMakeNew:
+			diags = append(diags, p.diag(s.pos, "noalloc",
+				"%s in //tme:noalloc function %s allocates; preallocate or pool the buffer", s.what, name))
+		case allocAppend:
+			diags = append(diags, p.diag(s.pos, "noalloc",
+				"append in //tme:noalloc function %s may grow its backing array; size the buffer at rebuild time", name))
+		case allocLiteral:
+			diags = append(diags, p.diag(s.pos, "noalloc",
+				"%s literal in //tme:noalloc function %s allocates", s.what, name))
+		case allocAddressedLiteral:
+			diags = append(diags, p.diag(s.pos, "noalloc",
+				"&%s literal in //tme:noalloc function %s risks a heap allocation", s.what, name))
+		case allocClosure:
+			diags = append(diags, p.diag(s.pos, "noalloc",
+				"closure literal in //tme:noalloc function %s may allocate; only closures passed directly to par.* are exempt", name))
+		case allocGo:
+			diags = append(diags, p.diag(s.pos, "noalloc",
+				"go statement in //tme:noalloc function %s allocates a goroutine; dispatch through par instead", name))
+		}
+	}
 	return diags
 }
 

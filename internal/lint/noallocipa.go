@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// noalloc-ipa closes the loophole the per-function noalloc check leaves
+// open: extracting a helper out of an annotated hot function silently
+// moves the allocation out of the checker's sight. This check walks the
+// static call graph from every //tme:noalloc function and flags calls
+// that reach an UNANNOTATED module function containing an allocation
+// construct. Callees that carry their own //tme:noalloc are skipped here
+// — they are checked directly — so annotating the helper is the fix that
+// both silences this check and extends the per-function one.
+//
+// The par package (and its fixture stub) is trusted as a leaf: it is the
+// sanctioned goroutine-dispatch layer, whose worker spawns are gated to
+// the multi-worker path by design. Allocation sites in a callee that are
+// suppressed with //tmevet:ignore noalloc (or noalloc-ipa) — grow-once
+// guards, pool refills — do not count against it. Interface dispatch and
+// function values produce no edges; the AllocsPerRun gates remain the
+// runtime backstop for those.
+var noallocIPACheck = &Check{
+	Name: "noalloc-ipa",
+	Doc:  "//tme:noalloc function reaches an allocating unannotated callee through the call graph",
+	Run:  runNoallocIPA,
+}
+
+func runNoallocIPA(p *Package) []Diagnostic {
+	prog := p.Prog
+	if prog == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocDirective(fd) {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			diags = append(diags, p.ipaFrom(prog, origin(fn))...)
+		}
+	}
+	return diags
+}
+
+// ipaItem is one frontier entry of the breadth-first walk: a callee, the
+// first-hop call position in the annotated root (where the diagnostic is
+// anchored, so the root's author can see and suppress it), and the call
+// path for the message.
+type ipaItem struct {
+	fn       *types.Func
+	firstHop token.Pos
+	path     []string
+}
+
+// ipaFrom walks the call graph from an annotated root and reports every
+// reachable unannotated module function that allocates.
+func (p *Package) ipaFrom(prog *Program, root *types.Func) []Diagnostic {
+	rootNode := prog.Node(root)
+	if rootNode == nil {
+		return nil
+	}
+	rootName := displayName(root, p)
+	visited := map[*types.Func]bool{root: true}
+	var queue []ipaItem
+	for _, e := range rootNode.Calls {
+		if !visited[e.Callee] {
+			visited[e.Callee] = true
+			queue = append(queue, ipaItem{fn: e.Callee, firstHop: e.Pos})
+		}
+	}
+	var diags []Diagnostic
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		node := prog.Node(it.fn)
+		if node == nil {
+			continue // stdlib or bodiless: out of scope
+		}
+		if isParPackage(it.fn.Pkg()) {
+			continue // sanctioned dispatch leaf
+		}
+		if hasNoallocDirective(node.Decl) {
+			continue // carries its own annotation; checked directly
+		}
+		calleeName := displayName(it.fn, p)
+		if desc, ok := node.unsuppressedAlloc(); ok {
+			via := ""
+			if len(it.path) > 0 {
+				via = " via " + strings.Join(it.path, " -> ")
+			}
+			diags = append(diags, p.diag(it.firstHop, "noalloc-ipa",
+				"//tme:noalloc function %s calls %s%s, which allocates (%s); annotate the callee //tme:noalloc or hoist the allocation",
+				rootName, calleeName, via, desc))
+		}
+		for _, e := range node.Calls {
+			if !visited[e.Callee] {
+				visited[e.Callee] = true
+				path := append(append([]string(nil), it.path...), calleeName)
+				queue = append(queue, ipaItem{fn: e.Callee, firstHop: it.firstHop, path: path})
+			}
+		}
+	}
+	return diags
+}
+
+// unsuppressedAlloc reports the first allocation site in the node's body
+// that is not excused by a //tmevet:ignore noalloc / noalloc-ipa comment
+// at the site.
+func (n *FuncNode) unsuppressedAlloc() (string, bool) {
+	for _, s := range n.Pkg.funcAllocs(n.Decl) {
+		pos := n.Pkg.Fset.Position(s.pos)
+		if n.Pkg.suppressed("noalloc", pos) || n.Pkg.suppressed("noalloc-ipa", pos) {
+			continue
+		}
+		return s.describe(), true
+	}
+	return "", false
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// schedown enforces single-goroutine state ownership, the discipline the
+// serve tier's Scheduler is built on: a struct field annotated
+// "//tme:owner <func>" (e.g. `//tme:owner Scheduler.loop` on the engine
+// fields of serve.job) may only be MUTATED by the declared owner function
+// and the functions it reaches over same-goroutine call edges. Everything
+// else — an HTTP handler, a spawned helper goroutine, a constructor-time
+// convenience that later grows into a race — must route the mutation
+// through the owner's channel; channel sends are the one sanctioned
+// cross-goroutine edge and are never flagged (they are not field writes).
+//
+// The annotation goes on the field line (or the line above) inside the
+// struct declaration; a type-level doc annotation applies to every field
+// of the struct. The owner is named relative to the declaring package:
+// "Func" for a package function, "Type.Method" for a method. Reads are
+// deliberately out of scope (snapshot-under-mutex reads are a different,
+// legitimate discipline); so are writes reached through interface
+// dispatch or function values, which the static graph cannot see — the
+// race-detector tier remains the runtime backstop.
+var schedownCheck = &Check{
+	Name: "schedown",
+	Doc:  "mutation of a //tme:owner field outside the owner goroutine's call tree",
+	Run:  runSchedown,
+}
+
+// ownerDirective declares the single goroutine allowed to mutate a field.
+const ownerDirective = "//tme:owner"
+
+// parseOwnerDirective extracts the owner name — the first whitespace-
+// separated token after the directive; anything further is prose.
+func parseOwnerDirective(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, ownerDirective)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", true
+	}
+	return fields[0], true
+}
+
+// Owners lazily builds the program-wide //tme:owner index: annotated
+// struct field -> resolved owner function.
+func (prog *Program) Owners() map[*types.Var]*ownerInfo {
+	if prog.owned != nil {
+		return prog.owned
+	}
+	prog.owned = map[*types.Var]*ownerInfo{}
+	seen := map[*Package]bool{}
+	for _, node := range prog.nodes {
+		if !seen[node.Pkg] {
+			seen[node.Pkg] = true
+			prog.collectOwners(node.Pkg)
+		}
+	}
+	return prog.owned
+}
+
+// collectOwners scans one package's struct declarations for annotations.
+func (prog *Program) collectOwners(p *Package) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				// A type-level annotation (on the type spec or the decl)
+				// is the default owner for every field.
+				typeOwner := ""
+				typePos := ts.Pos()
+				for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if name, pos, ok := ownerFromGroup(cg); ok {
+						typeOwner, typePos = name, pos
+					}
+				}
+				for _, field := range st.Fields.List {
+					owner, pos := typeOwner, typePos
+					for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+						if name, npos, ok := ownerFromGroup(cg); ok {
+							owner, pos = name, npos
+						}
+					}
+					if owner == "" {
+						continue
+					}
+					info := &ownerInfo{name: owner, pos: pos, pkg: p, owner: p.resolveOwner(owner)}
+					for _, name := range field.Names {
+						if v, ok := p.Info.Defs[name].(*types.Var); ok {
+							prog.owned[v] = info
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ownerFromGroup finds a //tme:owner directive in a comment group.
+func ownerFromGroup(cg *ast.CommentGroup) (string, token.Pos, bool) {
+	if cg == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range cg.List {
+		if name, ok := parseOwnerDirective(c.Text); ok {
+			return name, c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// resolveOwner looks "Func" or "Type.Method" up in the package scope.
+func (p *Package) resolveOwner(name string) *types.Func {
+	if p.Pkg == nil {
+		return nil
+	}
+	typeName, method, isMethod := strings.Cut(name, ".")
+	if !isMethod {
+		if fn, ok := p.Pkg.Scope().Lookup(name).(*types.Func); ok {
+			return origin(fn)
+		}
+		return nil
+	}
+	tn, ok := p.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, p.Pkg, method)
+	if fn, ok := obj.(*types.Func); ok {
+		return origin(fn)
+	}
+	return nil
+}
+
+func runSchedown(p *Package) []Diagnostic {
+	prog := p.Prog
+	if prog == nil {
+		return nil
+	}
+	owned := prog.Owners()
+	var diags []Diagnostic
+
+	// Unresolvable annotations declared in this package are findings
+	// themselves: a typo'd owner silently disables the whole protection.
+	reported := map[*ownerInfo]bool{}
+	for _, info := range owned {
+		if info.pkg == p && info.owner == nil && !reported[info] {
+			reported[info] = true
+			diags = append(diags, p.diag(info.pos, "schedown",
+				"//tme:owner names unknown function %q; use Func or Type.Method from the declaring package", info.name))
+		}
+	}
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			diags = append(diags, p.schedownFunc(prog, origin(fn), fd, owned)...)
+		}
+	}
+	return diags
+}
+
+// schedownFunc flags writes to owned fields from the wrong context. The
+// function's own statements (and its ordinary closures) are owner context
+// when the function is reachable from the owner; `go`-spawned subtrees are
+// a fresh goroutine and never owner context.
+func (p *Package) schedownFunc(prog *Program, fn *types.Func, fd *ast.FuncDecl, owned map[*types.Var]*ownerInfo) []Diagnostic {
+	// Pre-collect the spans of go-spawned subtrees.
+	var goSpans [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goSpans = append(goSpans, [2]token.Pos{g.Pos(), g.End()})
+		}
+		return true
+	})
+	inSpawn := func(pos token.Pos) bool {
+		for _, sp := range goSpans {
+			if pos >= sp[0] && pos < sp[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var diags []Diagnostic
+	check := func(target ast.Expr) {
+		for _, v := range p.spineFields(target) {
+			info, ok := owned[v]
+			if !ok || info.owner == nil {
+				continue
+			}
+			ownerName := displayName(info.owner, p)
+			switch {
+			case inSpawn(target.Pos()):
+				diags = append(diags, p.diag(target.Pos(), "schedown",
+					"goroutine spawned in %s writes field %s, owned by %s (//tme:owner); only the owner's call tree may mutate it",
+					displayName(fn, p), v.Name(), ownerName))
+			case !prog.Reachable(info.owner)[fn]:
+				diags = append(diags, p.diag(target.Pos(), "schedown",
+					"%s writes field %s, owned by %s (//tme:owner), but is not reachable from the owner; send on the owner's channel instead",
+					displayName(fn, p), v.Name(), ownerName))
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					check(n.Key)
+				}
+				if n.Value != nil {
+					check(n.Value)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// spineFields returns the struct fields on an assignment target's access
+// spine (j.sys, s.buf[i], (*s).tab.next — every selector on the path to
+// the root), so a write through any owned field is seen as a mutation of
+// that field's state.
+func (p *Package) spineFields(e ast.Expr) []*types.Var {
+	var out []*types.Var
+	for {
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[t]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					out = append(out, v)
+				}
+			}
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package errdrop exercises the errdrop check: on a durability/wire path
+// every discarded error result is flagged — bare call statements, the
+// same under defer or go, and error results landed in the blank
+// identifier — while handled errors and reviewed, suppressed drops pass.
+// The shape mirrors the real finding class: a checkpoint write whose
+// error vanishes.
+package errdrop
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+// store stands in for the checkpoint store.
+type store struct{ n int }
+
+func (st *store) save() error        { return errBoom }
+func (st *store) load() (int, error) { return 0, errBoom }
+func (st *store) bump()              { st.n++ }
+
+func flush(st *store) {
+	st.save()         // want "call discards its error result on a durability/wire path"
+	defer st.save()   // want "deferred call discards its error result"
+	go st.save()      // want "go statement discards the spawned call's error result"
+	n, _ := st.load() // want "error result assigned to the blank identifier"
+	_ = st.save()     // want "error result assigned to the blank identifier"
+	_ = n
+	st.bump() // ok: no error to drop
+	if err := st.save(); err != nil {
+		return
+	}
+	st.save() //tmevet:ignore errdrop -- fixture: a reviewed drop with a rationale passes
+}

@@ -1,0 +1,87 @@
+// Package goleak exercises the goleak check: every go statement must be
+// joinable through one of the three sanctioned protocols — a WaitGroup
+// Done, a channel send or close, or a context-cancellation check —
+// reachable from the spawned function. Unresolvable spawn targets
+// (function values) are flagged too.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func leakyClosure() {
+	go func() { // want "goroutine is never joined"
+		work()
+	}()
+}
+
+func namedLeak() {
+	go work() // want "goroutine is never joined"
+}
+
+// dynamic spawn target: no static callee, so no provable join.
+func dynamic(f func()) {
+	go f() // want "goroutine is never joined"
+}
+
+func joinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func joinedBySend() {
+	done := make(chan error, 1)
+	go func() {
+		done <- nil
+	}()
+	<-done
+}
+
+func joinedByClose() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func joinedByContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// runner joins by closing its done channel; the named spawn below is
+// proven through the call graph.
+func runner(done chan struct{}) {
+	work()
+	close(done)
+}
+
+func namedJoined() {
+	done := make(chan struct{})
+	go runner(done)
+	<-done
+}
+
+// helper reaches wg.Done only transitively, through signal.
+func signal(wg *sync.WaitGroup) { wg.Done() }
+
+func helper(wg *sync.WaitGroup) {
+	work()
+	signal(wg)
+}
+
+func transitiveJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go helper(wg)
+}

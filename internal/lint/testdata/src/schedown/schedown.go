@@ -1,0 +1,57 @@
+// Package schedown exercises the schedown check: a struct field annotated
+// //tme:owner <func> may be mutated only by functions reachable from the
+// owner over same-goroutine call edges. Spawned goroutines — even ones
+// launched by the owner itself — and foreign call trees (HTTP handlers)
+// must route mutations through the owner's channel; channel sends are the
+// sanctioned cross-goroutine edge and are never flagged.
+package schedown
+
+// Sched's scheduling ring is owned by the loop goroutine.
+type Sched struct {
+	rr    int //tme:owner Sched.loop
+	steps int //tme:owner Sched.loop
+	subc  chan int
+
+	count int //tme:owner missingFunc // want "//tme:owner names unknown function \"missingFunc\"; use Func or Type.Method from the declaring package"
+}
+
+// ring is wholly owned by the loop: the type-level annotation covers
+// every field.
+//
+//tme:owner Sched.loop
+type ring struct {
+	head int
+	tail int
+}
+
+// loop is the owner goroutine. Its own writes — and those of everything
+// it calls — are owner context; the goroutine it spawns is not.
+func (s *Sched) loop(r *ring) {
+	for range s.subc {
+		s.rr++
+		s.advance(r)
+	}
+	go func() {
+		s.rr = 0 // want "goroutine spawned in Sched.loop writes field rr, owned by Sched.loop"
+	}()
+}
+
+// advance is reachable from loop, so its writes are owner context.
+func (s *Sched) advance(r *ring) {
+	s.steps++
+	r.head++
+}
+
+// HandleSubmit runs on an HTTP goroutine: the direct mutation is flagged,
+// the channel send is the sanctioned edge.
+func (s *Sched) HandleSubmit(n int) {
+	s.steps += n // want "Sched.HandleSubmit writes field steps, owned by Sched.loop"
+	s.subc <- n
+	s.count = n // ok: the annotation failed to resolve, so nothing is enforced
+}
+
+// Reset is a package function outside the owner's call tree; the
+// type-level annotation on ring catches it too.
+func Reset(r *ring) {
+	r.tail = 0 // want "Reset writes field tail, owned by Sched.loop"
+}

@@ -56,7 +56,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // response already committed
+	enc.Encode(v) //tmevet:ignore errdrop -- status already committed by WriteHeader; nothing left to signal the client with
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
@@ -150,7 +150,20 @@ func (sv *Server) stream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "step,potential,kinetic,total")
+	// A write error means the client is gone; without checking it, a
+	// non-terminal job whose context outlives the connection would keep
+	// this handler polling forever (found by tmevet errdrop).
+	if _, err := fmt.Fprintln(w, "step,potential,kinetic,total"); err != nil {
+		return
+	}
+	writeRows := func(rows []EnergyPoint) error {
+		for _, e := range rows {
+			if _, err := fmt.Fprintf(w, "%d,%.17g,%.17g,%.17g\n", e.Step, e.Potential, e.Kinetic, e.Total); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	flusher, _ := w.(http.Flusher)
 	next := 0
 	for {
@@ -158,8 +171,8 @@ func (sv *Server) stream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return
 		}
-		for _, e := range rows {
-			fmt.Fprintf(w, "%d,%.17g,%.17g,%.17g\n", e.Step, e.Potential, e.Kinetic, e.Total)
+		if writeRows(rows) != nil {
+			return
 		}
 		next = n
 		if flusher != nil {
@@ -169,9 +182,7 @@ func (sv *Server) stream(w http.ResponseWriter, r *http.Request) {
 		if err != nil || st.State.Terminal() {
 			// Drain any rows appended between the read and the state check.
 			if rows, _, err := sv.sched.Energies(id, next, 0); err == nil {
-				for _, e := range rows {
-					fmt.Fprintf(w, "%d,%.17g,%.17g,%.17g\n", e.Step, e.Potential, e.Kinetic, e.Total)
-				}
+				writeRows(rows) //tmevet:ignore errdrop -- final drain; the handler returns either way
 			}
 			return
 		}

@@ -69,11 +69,13 @@ type job struct {
 	atoms       int
 	energies    []EnergyPoint // preallocated to full capacity at start
 
-	// Engine state, scheduler-goroutine only.
-	sys     *md.System
-	integ   *md.Integrator
-	store   *ckpt.Store
-	started bool
+	// Engine state, scheduler-goroutine only (enforced by tmevet's
+	// schedown check: only functions reachable from Scheduler.loop may
+	// write these).
+	sys     *md.System     //tme:owner Scheduler.loop
+	integ   *md.Integrator //tme:owner Scheduler.loop
+	store   *ckpt.Store    //tme:owner Scheduler.loop
+	started bool           //tme:owner Scheduler.loop
 }
 
 // status snapshots the job under its lock.

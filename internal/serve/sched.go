@@ -122,11 +122,11 @@ type Scheduler struct {
 	ids     []string // every issued id, admission order
 	active  []*job   // round-robin ring
 	queue   []*job   // bounded pending queue
-	rr      int
+	rr      int      //tme:owner Scheduler.loop
 	nextID  int
 	started bool
 	closed  bool
-	trace   []Quantum
+	trace   []Quantum //tme:owner Scheduler.loop
 
 	submitted, completed, failed, canceled int64
 
@@ -134,10 +134,12 @@ type Scheduler struct {
 	stepsDone atomic.Int64
 	quanta    atomic.Int64
 
+	// The latency ring is written only by the stepping loop; latMu guards
+	// the snapshot reads in latency().
 	latMu  sync.Mutex
-	latBuf []int64
-	latIdx int
-	latN   int
+	latBuf []int64 //tme:owner Scheduler.loop
+	latIdx int     //tme:owner Scheduler.loop
+	latN   int     //tme:owner Scheduler.loop
 
 	loopDone chan struct{}
 }
@@ -522,6 +524,7 @@ func (s *Scheduler) runQuantum(j *job) {
 		if err := s.startJob(j); err != nil {
 			s.removeActive(j)
 			s.finalize(j, StateFailed, err.Error())
+			s.releaseEngine(j)
 			return
 		}
 	}
@@ -535,7 +538,7 @@ func (s *Scheduler) runQuantum(j *job) {
 			// A failed checkpoint must not kill the simulation: the store
 			// counts the failure (obs ckpt_failures) and the previous
 			// durable checkpoint remains the resume point.
-			j.store.Save(j.integ.CaptureResume(j.sys, j.spec.meta())) //nolint:errcheck // deliberate: counted by the store, run continues
+			j.store.Save(j.integ.CaptureResume(j.sys, j.spec.meta())) //tmevet:ignore errdrop -- deliberate: the store counts the failure (obs ckpt_failures) and the previous durable checkpoint stays the resume point
 		}
 	}
 	s.quanta.Add(1)
@@ -548,13 +551,25 @@ func (s *Scheduler) runQuantum(j *job) {
 	case j.cancel.Load() && j.step < j.spec.Steps:
 		s.removeActive(j)
 		s.finalize(j, StateCanceled, "")
+		s.releaseEngine(j)
 	case j.step >= j.spec.Steps:
 		j.mu.Lock()
 		j.finalHash = md.StateHash(j.sys)
 		j.mu.Unlock()
 		s.removeActive(j)
 		s.finalize(j, StateDone, "")
+		s.releaseEngine(j)
 	}
+}
+
+// releaseEngine frees a terminal job's engine memory. It runs only on the
+// scheduler goroutine (tmevet schedown enforces this): finalize used to do
+// the release itself, but finalize is also called from Cancel on the HTTP
+// goroutine for still-queued jobs, which put a cross-goroutine write on
+// //tme:owner fields. A queued job has no engine state, so the release
+// belongs to the quantum paths alone.
+func (s *Scheduler) releaseEngine(j *job) {
+	j.sys, j.integ, j.store = nil, nil, nil
 }
 
 // stepOnce advances j by exactly one step: integrate, record the step's
@@ -679,7 +694,6 @@ func (s *Scheduler) finalize(j *job, state State, errMsg string) {
 		ds.FinalHash = fmt.Sprintf("%016x", j.finalHash)
 	}
 	j.mu.Unlock()
-	j.sys, j.integ, j.store = nil, nil, nil
 
 	s.mu.Lock()
 	switch state {
@@ -694,7 +708,7 @@ func (s *Scheduler) finalize(j *job, state State, errMsg string) {
 
 	if s.dir != "" {
 		if data, err := json.MarshalIndent(ds, "", "  "); err == nil {
-			s.writeFileAtomic(jobDir(s.dir, j.id), stateFileName, data) //nolint:errcheck // best effort: a lost marker re-admits the job, never corrupts it
+			s.writeFileAtomic(jobDir(s.dir, j.id), stateFileName, data) //tmevet:ignore errdrop -- best effort: a lost marker re-admits the job on restart, never corrupts it
 		}
 	}
 }
@@ -709,8 +723,8 @@ func (s *Scheduler) writeFileAtomic(dir, name string, data []byte) error {
 		return err
 	}
 	cleanup := func(err error) error {
-		f.Close()        //nolint:errcheck // already failing
-		s.fs.Remove(tmp) //nolint:errcheck // best effort
+		f.Close()        //tmevet:ignore errdrop -- already failing; the first error wins
+		s.fs.Remove(tmp) //tmevet:ignore errdrop -- best-effort temp cleanup on the failure path
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
@@ -723,7 +737,7 @@ func (s *Scheduler) writeFileAtomic(dir, name string, data []byte) error {
 		return cleanup(err)
 	}
 	if err := s.fs.Rename(tmp, final); err != nil {
-		s.fs.Remove(tmp) //nolint:errcheck // best effort
+		s.fs.Remove(tmp) //tmevet:ignore errdrop -- best-effort temp cleanup on the failure path
 		return err
 	}
 	return s.fs.SyncDir(dir)

@@ -12,12 +12,17 @@
 # (15s) keep both byte-level attack surfaces (arbitrary bytes into
 # GobDecode, arbitrary JSON into the daemon) continuously exercised beyond
 # the committed seed corpora.
+# tmevet runs with the committed baseline (grandfathered noalloc-ipa
+# findings in the deep engine, see DESIGN.md §7.8): any NEW finding fails
+# the gate, and the deterministic JSON report lands in tmevet.json for CI
+# to archive. A 10s fuzz smoke of the suppression-directive parser guards
+# the one piece of comment grammar that can silence every other check.
 # Run from the repo root:  ./tier1.sh
 set -eux
 
 test -z "$(gofmt -l .)"
 go vet ./...
-go run ./cmd/tmevet ./...
+go run ./cmd/tmevet -baseline tmevet.baseline.json -json ./... > tmevet.json
 go build ./...
 go test ./...
 go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
@@ -30,4 +35,5 @@ go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
 go test -race -short ./internal/md/ ./internal/expt/
 go test -run '^$' -fuzz '^FuzzSnapshotDecode$' -fuzztime 30s ./internal/md/
 go test -run '^$' -fuzz '^FuzzJobSpecDecode$' -fuzztime 15s ./internal/serve/
+go test -run '^$' -fuzz '^FuzzIgnoreDirective$' -fuzztime 10s ./internal/lint/
 go test -run '^$' -bench . -benchtime 1x . ./internal/nonbond/ > /dev/null
