@@ -19,6 +19,15 @@
 // Berendsen; the stochastic CSVR thermostat resumes from the same state
 // but draws fresh noise). -steps is the total trajectory length, so the
 // resumed run performs only the remaining steps.
+//
+// Rank-decomposed execution (see DESIGN.md §7.9):
+//
+//	mdrun -ranks 4 -side 6 -rc 0.23 -grid 32 -M 2 -gc 4 -steps 100
+//
+// -ranks N steps the same NVE trajectory through internal/rank — N
+// domain-owning workers exchanging halos over typed channels — bitwise
+// identical to -ranks 1 and to the serial integrator. Rank mode is NVE
+// only (cutoff or tme) and excludes -nvt, -resume and checkpointing.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"tme4a/internal/ckpt"
 	"tme4a/internal/md"
 	"tme4a/internal/obs"
+	"tme4a/internal/rank"
 	"tme4a/internal/solver"
 	"tme4a/internal/spme"
 	"tme4a/internal/water"
@@ -63,6 +73,7 @@ func main() {
 		ckEvery = flag.Int("checkpoint-every", 0, "checkpoint cadence in steps (0 = off)")
 		ckKeep  = flag.Int("checkpoint-keep", 3, "checkpoints retained (keep-last-K)")
 		resume  = flag.Bool("resume", false, "restore from the newest valid checkpoint in -checkpoint-dir")
+		ranks   = flag.Int("ranks", 0, "rank-decomposed run with N domain workers (0 = serial; NVE, cutoff|tme only)")
 	)
 	flag.Parse()
 
@@ -142,6 +153,17 @@ func main() {
 		mesh = s
 	}
 
+	if *ranks > 0 {
+		if *nvt {
+			fatalf("-ranks is NVE only; drop -nvt")
+		}
+		if *resume || *ckDir != "" || *ckEvery > 0 {
+			fatalf("-ranks does not support checkpointing or -resume")
+		}
+		runRanks(sys, mesh, alpha, *rc, *ranks, *steps, *every, *obsOn, *method)
+		return
+	}
+
 	integ := &md.Integrator{
 		FF: &md.ForceField{Alpha: alpha, Rc: *rc, Mesh: mesh},
 		Dt: 0.001,
@@ -193,6 +215,43 @@ func main() {
 	if rec != nil {
 		fmt.Println()
 		rec.Report(*method, sys.N(), runtime.GOMAXPROCS(0)).Render(os.Stdout, 60)
+	}
+}
+
+// runRanks steps the trajectory through the rank-decomposed engine and
+// reports energies exactly like the serial path, plus the protocol
+// traffic summary at the end.
+func runRanks(sys *md.System, mesh md.MeshSolver, alpha, rc float64, ranks, steps, every int, obsOn bool, method string) {
+	ff := &md.ForceField{Alpha: alpha, Rc: rc, Mesh: mesh}
+	eng, err := rank.New(rank.Config{Ranks: ranks}, sys, ff, 0.001)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer eng.Close()
+	var rec *obs.Recorder
+	if obsOn {
+		rec = obs.New()
+		eng.SetObs(rec)
+	}
+	fmt.Printf("%d atoms over %d ranks, method %s, rc %.2f nm, α %.3f nm⁻¹\n",
+		sys.N(), ranks, method, rc, alpha)
+	fmt.Printf("%8s %14s %14s %14s %8s\n", "step", "potential", "kinetic", "total", "T(K)")
+	for s := 1; s <= steps; s++ {
+		e, err := eng.Step()
+		if err != nil {
+			fatalf("step %d: %v", s, err)
+		}
+		if s%every == 0 || s == 1 {
+			fmt.Printf("%8d %14.3f %14.3f %14.3f %8.1f\n",
+				s, e.Potential(), e.Kinetic, e.Total(), sys.Temperature())
+		}
+	}
+	if b := eng.CommBytes(); steps > 0 {
+		fmt.Printf("protocol traffic: %d bytes total, %d bytes/step\n", b, b/int64(steps))
+	}
+	if rec != nil {
+		fmt.Println()
+		rec.Report(fmt.Sprintf("%s-ranks%d", method, ranks), sys.N(), runtime.GOMAXPROCS(0)).Render(os.Stdout, 60)
 	}
 }
 

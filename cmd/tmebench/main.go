@@ -10,6 +10,7 @@
 //	tmebench -exp fig9       single-step machine time chart (Fig 9)
 //	tmebench -exp fig9live   measured per-stage step breakdown (live Fig 9)
 //	tmebench -exp fig10      long-range phase breakdown (Fig 10, Sec V.B)
+//	tmebench -exp fig10scale rank strong-scaling sweep with torus comm model
 //	tmebench -exp overlap    step time with/without long-range (Sec V.C)
 //	tmebench -exp table2     cross-system comparison (Table 2)
 //	tmebench -exp costmodel  Sec III.C cost model + strong-scaling curves
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,shootout,fig4,fig4resume,fig9,fig9live,fig10,overlap,table2,costmodel,grid64,whatif,saturate,all")
+	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,shootout,fig4,fig4resume,fig9,fig9live,fig10,fig10scale,overlap,table2,costmodel,grid64,whatif,saturate,all")
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
 	outDir := flag.String("out", "results", "output directory ('' = stdout only)")
 	flag.Parse()
@@ -45,7 +46,7 @@ func main() {
 	runner := &runner{full: *full, outDir: *outDir}
 	exps := []string{*exp}
 	if *exp == "all" {
-		exps = []string{"fig3a", "fig3b", "table1", "shootout", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "overlap", "table2", "costmodel", "grid64", "whatif", "saturate"}
+		exps = []string{"fig3a", "fig3b", "table1", "shootout", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "fig10scale", "overlap", "table2", "costmodel", "grid64", "whatif", "saturate"}
 	}
 	for _, e := range exps {
 		if err := runner.run(e); err != nil {
@@ -171,6 +172,28 @@ func (r *runner) run(exp string) error {
 		w, done := r.out("fig10.csv")
 		defer done()
 		r.hwContext().RunFig10(w)
+	case "fig10scale":
+		cfg := expt.QuickFigScale()
+		if r.full {
+			cfg = expt.FullFigScale()
+		}
+		w, done := r.out("fig10scale.csv")
+		defer done()
+		points, err := expt.RunFigScale(cfg, w)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create("BENCH_scale.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": "fig10scale", "points": points}); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_scale.json")
 	case "overlap":
 		w, done := r.out("overlap.csv")
 		defer done()

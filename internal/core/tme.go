@@ -257,6 +257,13 @@ func (s *Solver) Kernels() [][3][]float64 { return s.kern }
 // TwoScale returns the restriction/prolongation coefficients (read-only).
 func (s *Solver) TwoScale() []float64 { return s.j }
 
+// LevelZKernels returns the per-level z-axis kernels with the level
+// prefactor and Coulomb conversion folded in: LevelZKernels()[l-1][ν] is
+// the z kernel levelConvAccum uses at level l (read-only). Slab-decomposed
+// pipelines (internal/dist, internal/rank) need them to reproduce the level
+// convolutions bitwise.
+func (s *Solver) LevelZKernels() [][][]float64 { return s.kernZ }
+
 // levelConvAccum accumulates the separable middle-range convolution of
 // level l (1-based) of the level-l charge grid q into dst, in
 // kJ mol⁻¹ e⁻¹ (paper Eq. (9)–(11)): dst += Σ_ν K^{ν,x}∗K^{ν,y}∗K̃^{ν,z}∗q,

@@ -1,131 +1,112 @@
 package dist
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
 	"tme4a/internal/core"
-	"tme4a/internal/spme"
 	"tme4a/internal/vec"
 )
 
-func randomSystem(rng *rand.Rand, n int, box vec.Box) ([]vec.V, []float64) {
+// testSystem returns a reproducible cloud of charged particles, including
+// positions outside the primary box (the mesher wraps them) and a few
+// neutral atoms (skipped by assignment, interpolation and the energy
+// replay).
+func testSystem(seed int64, n int, box vec.Box) ([]vec.V, []float64) {
+	rng := rand.New(rand.NewSource(seed))
 	pos := make([]vec.V, n)
 	q := make([]float64, n)
-	var qt float64
 	for i := range pos {
-		pos[i] = vec.New(rng.Float64()*box.L[0], rng.Float64()*box.L[1], rng.Float64()*box.L[2])
+		for k := 0; k < 3; k++ {
+			pos[i][k] = (rng.Float64()*3 - 1) * box.L[k]
+		}
 		q[i] = rng.NormFloat64()
-		qt += q[i]
-	}
-	for i := range q {
-		q[i] -= qt / float64(n)
+		if i%17 == 0 {
+			q[i] = 0
+		}
 	}
 	return pos, q
 }
 
-// TestDistributedMatchesGlobal is the central claim: the block-decomposed
-// execution with sleeve folds, per-axis ±g_c halo exchanges and a gathered
-// top level reproduces the global TME to round-off — the executable form
-// of the paper's communication-scheme argument.
-func TestDistributedMatchesGlobal(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	box := vec.Cubic(9.9727)
-	pos, q := randomSystem(rng, 300, box)
-	prm := core.Params{
-		Alpha: spme.AlphaFromRTol(1.2, 1e-4), Rc: 1.2, Order: 6,
-		N: [3]int{32, 32, 32}, Levels: 1, M: 3, Gc: 8,
-	}
-	tme := core.New(prm, box)
-	d := New(tme, 2) // 2×2×2 nodes, 16³ local blocks
+var testGeoms = []core.Params{
+	{Alpha: 3.0, Rc: 0.45, Order: 4, N: [3]int{32, 32, 32}, Levels: 1, M: 2, Gc: 4},
+	{Alpha: 2.5, Rc: 0.5, Order: 4, N: [3]int{32, 16, 32}, Levels: 2, M: 1, Gc: 3},
+}
 
-	fg := make([]vec.V, len(pos))
-	eg := tme.LongRange(pos, q, fg)
-	fd := make([]vec.V, len(pos))
-	ed := d.LongRange(pos, q, fd)
-
-	if math.Abs(ed-eg) > 1e-8*math.Abs(eg) {
-		t.Errorf("energy: distributed %.12f vs global %.12f", ed, eg)
-	}
-	var fScale float64
-	for _, fi := range fg {
-		fScale = math.Max(fScale, fi.Norm())
-	}
-	for i := range fg {
-		if d := fd[i].Sub(fg[i]).Norm(); d > 1e-9*fScale {
-			t.Fatalf("atom %d: force %v vs %v (Δ %g)", i, fd[i], fg[i], d)
+// TestLongRangeBitwise asserts the decomposed solver reproduces
+// core.Solver.LongRange exactly — energy and every force component
+// bit-for-bit — at every rank count that divides the hierarchy, on two
+// geometries (single- and two-level, anisotropic grid). Each solver runs
+// twice to cover the steady-state (reused scratch) path.
+func TestLongRangeBitwise(t *testing.T) {
+	for gi, prm := range testGeoms {
+		box := vec.Cubic(1.86)
+		ref := core.New(prm, box)
+		pos, q := testSystem(int64(1000+gi), 321, box)
+		fRef := make([]vec.V, len(pos))
+		eRef := ref.LongRange(pos, q, fRef)
+		for _, r := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("geom%d/R%d", gi, r), func(t *testing.T) {
+				s, err := New(core.New(prm, box), r)
+				if err != nil {
+					t.Fatalf("New(R=%d): %v", r, err)
+				}
+				for pass := 0; pass < 2; pass++ {
+					f := make([]vec.V, len(pos))
+					e := s.LongRange(pos, q, f)
+					if math.Float64bits(e) != math.Float64bits(eRef) {
+						t.Fatalf("pass %d: energy %x != serial %x (Δ=%g)",
+							pass, math.Float64bits(e), math.Float64bits(eRef), e-eRef)
+					}
+					for i := range f {
+						for k := 0; k < 3; k++ {
+							if math.Float64bits(f[i][k]) != math.Float64bits(fRef[i][k]) {
+								t.Fatalf("pass %d: force[%d][%d] %g != serial %g", pass, i, k, f[i][k], fRef[i][k])
+							}
+						}
+					}
+				}
+			})
 		}
 	}
 }
 
-// TestDistributedFourNodesPerAxis uses a finer decomposition (4³ = 64
-// nodes, 8³ local blocks with g_c-wide halos equal to the block side —
-// the MDGRAPE-4A 32³-grid operating geometry has 4³ blocks; 8³ is the
-// closest this single-hop implementation supports).
-func TestDistributedFourNodesPerAxis(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	box := vec.Cubic(9.9727)
-	pos, q := randomSystem(rng, 200, box)
-	prm := core.Params{
-		Alpha: spme.AlphaFromRTol(1.2, 1e-4), Rc: 1.2, Order: 6,
-		N: [3]int{32, 32, 32}, Levels: 1, M: 2, Gc: 8,
-	}
-	tme := core.New(prm, box)
-	d := New(tme, 4) // 64 nodes, 8³ local
-	fg := make([]vec.V, len(pos))
-	tme.LongRange(pos, q, fg)
-	fd := make([]vec.V, len(pos))
-	d.LongRange(pos, q, fd)
-	var fScale float64
-	for _, fi := range fg {
-		fScale = math.Max(fScale, fi.Norm())
-	}
-	for i := range fg {
-		if dd := fd[i].Sub(fg[i]).Norm(); dd > 1e-9*fScale {
-			t.Fatalf("atom %d: Δ %g", i, dd)
+// TestNewRejectsIndivisible: rank counts that do not divide every level's
+// plane count must fail at plan time, not mid-solve.
+func TestNewRejectsIndivisible(t *testing.T) {
+	box := vec.Cubic(1.86)
+	tme := core.New(testGeoms[0], box) // top grid 16 planes
+	for _, r := range []int{3, 5, 32} {
+		if _, err := New(tme, r); err == nil {
+			t.Errorf("New(R=%d): expected divisibility error, got nil", r)
 		}
+	}
+	if _, err := New(tme, 0); err == nil {
+		t.Error("New(R=0): expected error, got nil")
 	}
 }
 
-// TestDistributedTwoLevels covers L = 2 (the 64³ configuration's level
-// structure, scaled).
-func TestDistributedTwoLevels(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	box := vec.Cubic(9.9727)
-	pos, q := randomSystem(rng, 150, box)
-	prm := core.Params{
-		Alpha: spme.AlphaFromRTol(1.2, 1e-4), Rc: 1.2, Order: 6,
-		N: [3]int{64, 64, 64}, Levels: 2, M: 2, Gc: 8,
-	}
-	tme := core.New(prm, box)
-	d := New(tme, 2) // 32³ local finest, 16³ level-2, 16³ top gathered
-	fg := make([]vec.V, len(pos))
-	tme.LongRange(pos, q, fg)
-	fd := make([]vec.V, len(pos))
-	d.LongRange(pos, q, fd)
-	var fScale float64
-	for _, fi := range fg {
-		fScale = math.Max(fScale, fi.Norm())
-	}
-	for i := range fg {
-		if dd := fd[i].Sub(fg[i]).Norm(); dd > 1e-9*fScale {
-			t.Fatalf("atom %d: Δ %g", i, dd)
+// TestHaloPlaneExchange drives a full pack/deliver/unpack/fill cycle on a
+// field whose plane values encode the global plane id, asserting every
+// extended-buffer slot of every rank ends up holding exactly the plane the
+// window arithmetic demands — the partition property (no slot missed, no
+// slot double-filled) on a concrete exchange rather than just the tables.
+func TestHaloPlaneExchange(t *testing.T) {
+	for _, tc := range []struct{ r, nz, lo, hi, pl int }{
+		{1, 8, 3, 3, 5},
+		{2, 8, 2, 1, 4},
+		{4, 8, 4, 4, 3}, // window longer than own block
+		{8, 8, 1, 9, 2}, // window longer than the ring
+		{4, 16, 0, 3, 6},
+	} {
+		h, err := NewHalo(tc.r, tc.nz, tc.lo, tc.hi, tc.pl)
+		if err != nil {
+			t.Fatalf("NewHalo(%+v): %v", tc, err)
+		}
+		if err := CheckPartition(h); err != nil {
+			t.Errorf("CheckPartition(%+v): %v", tc, err)
 		}
 	}
-}
-
-func TestNewValidation(t *testing.T) {
-	box := vec.Cubic(4)
-	tme := core.New(core.Params{
-		Alpha: 2.3, Rc: 1.2, Order: 6, N: [3]int{16, 16, 16},
-		Levels: 1, M: 2, Gc: 8,
-	}, box)
-	// 16/4 = 4 < gc: must panic (would need multi-hop halos).
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for local side < gc")
-		}
-	}()
-	New(tme, 4)
 }

@@ -1,0 +1,133 @@
+// Slab z-pass kernels. Each mirrors the per-element arithmetic of its
+// serial counterpart in internal/grid (convLines, restrictLines,
+// prolongLines) exactly — same taps, same ascending tap order, same local
+// accumulator — but reads foreign planes from an extended buffer instead
+// of wrapping the full grid. The extended buffer's slot k holds global
+// plane wrap(zlo−Lo+k, nz), so the slot of the plane a serial tap reads is
+// pure index arithmetic with no modulo in the hot loop.
+
+package dist
+
+import "tme4a/internal/grid"
+
+// convZAccum accumulates the z-axis convolution into the owned block:
+// dst[·,·,i] += Σ_t kernel[t]·plane(zlo+i+gc−t), with the taps of one
+// output element summed t-ascending into a local accumulator first — the
+// convLines order. ext must hold the window [zlo−gc, zhi+gc), i.e.
+// Lo = Hi = gc.
+//
+//tme:noalloc
+func convZAccum(dst, ext *grid.G, kernel []float64) {
+	gc := len(kernel) / 2
+	nx, ny, onz := dst.N[0], dst.N[1], dst.N[2]
+	nt := 2*gc + 1
+	for iz := 0; iz < onz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			out := dst.Data[nx*(iy+ny*iz) : nx*(iy+ny*iz)+nx]
+			for ix := 0; ix < nx; ix++ {
+				var s float64
+				// Serial convLines: s += kernel[t]·row[2gc−t], where
+				// row[2gc−t] is plane wrap(i+gc−t) — ext slot i+2gc−t.
+				for t := 0; t < nt; t++ {
+					ez := iz + 2*gc - t
+					s += kernel[t] * ext.Data[nx*(iy+ny*ez)+ix]
+				}
+				out[ix] += s
+			}
+		}
+	}
+}
+
+// restrictZ computes the z-axis two-scale restriction into the owned
+// coarse block: dst[·,·,i] = Σ_m J[m]·finePlane(2(czlo+i)+m−half), m
+// ascending — the restrictLines order. ext holds the fine-field window
+// [2·czlo−half, 2·czhi+half−1), i.e. Lo = half, Hi = half−1 on the fine
+// field; the serial tap 2i+m−half relative to the window start is slot
+// 2i+m.
+//
+//tme:noalloc
+func restrictZ(dst, ext *grid.G, J []float64) {
+	half := len(J) / 2
+	nj := 2*half + 1
+	nx, ny, conz := dst.N[0], dst.N[1], dst.N[2]
+	for iz := 0; iz < conz; iz++ {
+		for iy := 0; iy < ny; iy++ {
+			out := dst.Data[nx*(iy+ny*iz) : nx*(iy+ny*iz)+nx]
+			for ix := 0; ix < nx; ix++ {
+				var s float64
+				for m := 0; m < nj; m++ {
+					ez := 2*iz + m
+					s += J[m] * ext.Data[nx*(iy+ny*ez)+ix]
+				}
+				out[ix] = s
+			}
+		}
+	}
+}
+
+// ptap is one prolongation contribution to a fine plane: coefficient times
+// the coarse plane sitting in extended-buffer slot Slot.
+type ptap struct {
+	Slot  int32
+	Coeff float64
+}
+
+// buildProlongTaps simulates the serial prolongLines scatter over the full
+// coarse ring (source planes i ascending, taps m ascending, exactly the
+// loop in grid.prolongLines) and records, for each fine plane this rank
+// owns, its contributions in that serial order. Replaying a plane's list
+// into a fresh accumulator therefore reproduces the serial left-to-right
+// sum bitwise, including wrap-around contributions. Panics if the chosen
+// halo width does not cover a needed coarse plane — a plan-time invariant,
+// fuzz-checked in halo_fuzz_test.go.
+func buildProlongTaps(J []float64, cn, czlo, conz, ph, fzlo, fonz int) [][]ptap {
+	half := len(J) / 2
+	fn := 2 * cn
+	extNz := conz + 2*ph
+	slotOf := func(i int) int32 {
+		for k := 0; k < extNz; k++ {
+			if wrapInt(czlo-ph+k, cn) == i {
+				return int32(k)
+			}
+		}
+		panic("dist: prolongation halo does not cover a needed coarse plane")
+	}
+	taps := make([][]ptap, fonz)
+	for i := 0; i < cn; i++ {
+		for m := -half; m <= half; m++ {
+			f := wrapInt(2*i+m, fn)
+			if f < fzlo || f >= fzlo+fonz {
+				continue
+			}
+			taps[f-fzlo] = append(taps[f-fzlo], ptap{slotOf(i), J[m+half]})
+		}
+	}
+	return taps
+}
+
+// prolongZ sets the owned fine block from the coarse extended buffer by
+// replaying each fine plane's tap list: acc starts at zero and adds
+// Coeff·v per tap in list order, skipping v == 0 exactly as the serial
+// scatter does, then stores acc (the serial pass clears the line first).
+//
+//tme:noalloc
+func prolongZ(dst, ext *grid.G, taps [][]ptap) {
+	nx, ny, onz := dst.N[0], dst.N[1], dst.N[2]
+	for iz := 0; iz < onz; iz++ {
+		tl := taps[iz]
+		for iy := 0; iy < ny; iy++ {
+			out := dst.Data[nx*(iy+ny*iz) : nx*(iy+ny*iz)+nx]
+			for ix := 0; ix < nx; ix++ {
+				var acc float64
+				for _, t := range tl {
+					v := ext.Data[nx*(iy+ny*int(t.Slot))+ix]
+					if v == 0 {
+						continue
+					}
+					acc += t.Coeff * v
+				}
+				out[ix] = acc
+			}
+		}
+	}
+}

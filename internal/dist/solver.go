@@ -1,0 +1,160 @@
+// Sequential R-rank rehearsal of the decomposed mesh pipeline. Solver
+// executes every rank's stages in turn with explicit packed sleeves, so a
+// test can assert its LongRange is bitwise equal to core.Solver.LongRange
+// at any rank count before the concurrent engine (internal/rank) runs the
+// identical tables over channels.
+
+package dist
+
+import (
+	"tme4a/internal/core"
+	"tme4a/internal/ewald"
+	"tme4a/internal/grid"
+	"tme4a/internal/pmesh"
+	"tme4a/internal/vec"
+)
+
+// Solver runs the decomposed pipeline over R logical ranks sequentially.
+type Solver struct {
+	Plan   *Plan
+	meshes []*Mesh
+
+	buf          []float64 // sleeve scratch, max pack size over all halos
+	topQ, topPhi *grid.G
+	assignIdx    [][]int32
+	interpIdx    [][]int32
+	eterm        []float64
+}
+
+// New builds an R-rank sequential solver over tme's hierarchy.
+func New(tme *core.Solver, r int) (*Solver, error) {
+	p, err := NewPlan(tme, r)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{Plan: p}
+	s.meshes = make([]*Mesh, r)
+	max := p.Interp.MaxPackSize()
+	for k := 0; k < p.D.Levels; k++ {
+		for _, h := range []*Halo{p.Restrict[k], p.Prolong[k], p.Conv[k]} {
+			if n := h.MaxPackSize(); n > max {
+				max = n
+			}
+		}
+	}
+	s.buf = make([]float64, max)
+	for i := range s.meshes {
+		s.meshes[i] = p.NewMesh(i)
+	}
+	tn := p.TopN()
+	s.topQ = grid.New(tn[0], tn[1], tn[2])
+	s.topPhi = grid.New(tn[0], tn[1], tn[2])
+	s.assignIdx = make([][]int32, r)
+	s.interpIdx = make([][]int32, r)
+	return s, nil
+}
+
+// exchange performs halo h between all rank pairs: pack, deliver, unpack,
+// plus each rank's own-plane fill. src(r) and ext(r) return rank r's field
+// and extended buffer.
+func (s *Solver) exchange(h *Halo, src, ext func(r int) *grid.G) {
+	r := s.Plan.D.R
+	for a := 0; a < r; a++ {
+		for b := 0; b < r; b++ {
+			if a == b || h.PackSize(a, b) == 0 {
+				continue
+			}
+			n := h.Pack(a, b, src(a).Data, s.buf)
+			h.Unpack(b, a, s.buf[:n], ext(b).Data)
+		}
+	}
+	for a := 0; a < r; a++ {
+		h.FillOwn(a, src(a).Data, ext(a).Data)
+	}
+}
+
+// LongRange computes the mesh part of the Coulomb energy plus the Ewald
+// self energy, accumulating forces into f (may be nil) — bitwise equal to
+// core.Solver.LongRange at any rank count.
+func (s *Solver) LongRange(pos []vec.V, q []float64, f []vec.V) float64 {
+	p := s.Plan
+	d := p.D
+	r := d.R
+	L := d.Levels
+	n := len(pos)
+	if cap(s.eterm) < n {
+		s.eterm = make([]float64, n)
+	}
+	s.eterm = s.eterm[:n]
+	// Atom windows: a rank assigns every atom whose spline support touches
+	// its finest planes and interpolates every atom whose base plane it
+	// owns. Lists are built walking atoms in ascending index, the serial
+	// particle order.
+	for a := 0; a < r; a++ {
+		s.assignIdx[a] = s.assignIdx[a][:0]
+		s.interpIdx[a] = s.interpIdx[a][:0]
+	}
+	for i := 0; i < n; i++ {
+		b := p.Mesher.BasePlane(pos[i])
+		s.interpIdx[b/d.Onz(0)] = append(s.interpIdx[b/d.Onz(0)], int32(i))
+		for a := 0; a < r; a++ {
+			zlo, zhi := d.ZRange(0, a)
+			if p.Mesher.SupportHits(pos[i], zlo, zhi) {
+				s.assignIdx[a] = append(s.assignIdx[a], int32(i))
+			}
+		}
+	}
+	// Charge assignment, then the downward restriction pass.
+	for a := 0; a < r; a++ {
+		s.meshes[a].AssignOwn(s.assignIdx[a], pos, q)
+	}
+	for k := 0; k < L; k++ {
+		kk := k
+		s.exchange(p.Restrict[k],
+			func(a int) *grid.G { return s.meshes[a].RestrictXY(kk) },
+			func(a int) *grid.G { return s.meshes[a].RestrictExt(kk) })
+		for a := 0; a < r; a++ {
+			s.meshes[a].RestrictZ(k)
+		}
+	}
+	// Top solve at the root: gather owned top blocks (plain plane copies),
+	// SPME, scatter the potential back.
+	tn := p.TopN()
+	pl := tn[0] * tn[1]
+	onzTop := d.Onz(L)
+	for a := 0; a < r; a++ {
+		copy(s.topQ.Data[a*onzTop*pl:(a+1)*onzTop*pl], s.meshes[a].Q[L].Data)
+	}
+	p.TME.TopSolver().PotentialGridInto(s.topPhi, s.topQ)
+	for a := 0; a < r; a++ {
+		copy(s.meshes[a].Phi[L].Data, s.topPhi.Data[a*onzTop*pl:(a+1)*onzTop*pl])
+	}
+	// Upward pass: prolong, then accumulate each Gaussian's convolution.
+	for k := L - 1; k >= 0; k-- {
+		kk := k
+		s.exchange(p.Prolong[k],
+			func(a int) *grid.G { return s.meshes[a].ProlongXY(kk) },
+			func(a int) *grid.G { return s.meshes[a].ProlongExt(kk) })
+		for a := 0; a < r; a++ {
+			s.meshes[a].ProlongZ(k)
+		}
+		for v := 0; v < p.TME.Prm.M; v++ {
+			vv := v
+			s.exchange(p.Conv[k],
+				func(a int) *grid.G { return s.meshes[a].ConvXY(kk, vv) },
+				func(a int) *grid.G { return s.meshes[a].ConvExt(kk) })
+			for a := 0; a < r; a++ {
+				s.meshes[a].ConvZAccum(k, v)
+			}
+		}
+	}
+	// Back interpolation against the exchanged finest potential, then the
+	// serial chunk-order energy fold.
+	s.exchange(p.Interp,
+		func(a int) *grid.G { return s.meshes[a].Phi[0] },
+		func(a int) *grid.G { return s.meshes[a].InterpExt() })
+	for a := 0; a < r; a++ {
+		s.meshes[a].Interp(s.interpIdx[a], pos, q, s.eterm, f)
+	}
+	return pmesh.ReplayEnergy(s.eterm, q) + ewald.SelfEnergy(q, p.TME.Prm.Alpha)
+}

@@ -1,0 +1,38 @@
+// Chunk-order replay of the exclusion-correction energy reduction for
+// the rank-decomposed run mode (internal/rank).
+
+package ewald
+
+import "tme4a/internal/units"
+
+// ReplayExclusionEnergy reconstructs ExclusionCorrection's energy from
+// per-pair terms gathered by atom: terms[off[i]:off[i+1]] holds atom i's
+// 0.5·q_i·q_j·erf(αr)/r values in neighbor-list order (zero for pairs
+// the serial loop skips on a vanishing charge product). Each fixed
+// exclChunk-atom chunk subtracts its members' terms into a chunk-local
+// accumulator — skipping q_i == 0 atoms, as the serial gather does — and
+// the chunk partials fold in ascending chunk order, exactly
+// ExclusionCorrection's deterministic reduction. Subtracting a recorded
+// zero is a bitwise no-op, and atoms past the exclusion table contribute
+// empty ranges, so the result is bit-equal to the serial sum.
+func ReplayExclusionEnergy(terms []float64, off []int32, q []float64) float64 {
+	var energy float64
+	n := len(q)
+	for lo := 0; lo < n; lo += exclChunk {
+		hi := lo + exclChunk
+		if hi > n {
+			hi = n
+		}
+		var pc float64
+		for i := lo; i < hi; i++ {
+			if q[i] == 0 {
+				continue
+			}
+			for s := off[i]; s < off[i+1]; s++ {
+				pc -= terms[s]
+			}
+		}
+		energy += pc
+	}
+	return energy * units.Coulomb
+}

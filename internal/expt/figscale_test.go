@@ -1,0 +1,52 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFigScaleSmoke runs a trimmed sweep end to end and checks the
+// cross-rank-count hash equality the sweep itself enforces, plus the
+// traffic monotony the protocol guarantees (a single rank moves no
+// bytes; multi-rank runs always move some).
+func TestRunFigScaleSmoke(t *testing.T) {
+	cfg := QuickFigScale()
+	cfg.EquilSteps = 50
+	cfg.Warmup = 2
+	cfg.Steps = 10
+	cfg.Ranks = []int{1, 2, 4}
+	var buf bytes.Buffer
+	points, err := RunFigScale(cfg, &buf)
+	if err != nil {
+		t.Fatalf("RunFigScale: %v\n%s", err, buf.String())
+	}
+	if len(points) != len(cfg.Ranks) {
+		t.Fatalf("got %d points, want %d", len(points), len(cfg.Ranks))
+	}
+	for i, pt := range points {
+		if pt.Ranks != cfg.Ranks[i] {
+			t.Errorf("point %d: ranks %d, want %d", i, pt.Ranks, cfg.Ranks[i])
+		}
+		if pt.StateHash != points[0].StateHash {
+			t.Errorf("ranks=%d hash %s != ranks=1 hash %s", pt.Ranks, pt.StateHash, points[0].StateHash)
+		}
+		if pt.StepNs <= 0 {
+			t.Errorf("ranks=%d: step_ns %d", pt.Ranks, pt.StepNs)
+		}
+		if pt.Ranks == 1 {
+			if pt.CommPerStep != 0 || pt.TorusNs != 0 {
+				t.Errorf("ranks=1 reports traffic: %d bytes, %d ns", pt.CommPerStep, pt.TorusNs)
+			}
+		} else if pt.CommPerStep <= 0 || pt.TorusNs <= 0 {
+			t.Errorf("ranks=%d reports no traffic: %d bytes, %d ns", pt.Ranks, pt.CommPerStep, pt.TorusNs)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ranks,atoms,state_hash") {
+		t.Errorf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "hash identical") {
+		t.Errorf("missing determinism footer:\n%s", out)
+	}
+}

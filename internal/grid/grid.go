@@ -440,6 +440,24 @@ func RestrictInto(dst, src *G, J []float64, pool *Pool) {
 	pool.Put(t2)
 }
 
+// RestrictAxisInto applies the two-scale restriction along a single axis:
+// dst[n] = Σ_m J[m]·src[2n+m] on that axis (dst shape = src shape with the
+// axis halved). Exposed for slab-decomposed pipelines (internal/dist) that
+// run the x/y passes locally on their owned z-planes; the per-line
+// arithmetic is identical to RestrictInto's, so plane-subset results are
+// bitwise equal to the corresponding planes of a full-grid restriction.
+func RestrictAxisInto(dst, src *G, axis int, J []float64) {
+	restrictAxisInto(dst, src, axis, J)
+}
+
+// ProlongAxisInto applies the two-scale prolongation along a single axis:
+// dst[k] = Σ_n J[k−2n]·src[n] on that axis (dst shape = src shape with the
+// axis doubled). Exposed for the same slab-decomposed x/y passes as
+// RestrictAxisInto.
+func ProlongAxisInto(dst, src *G, axis int, J []float64) {
+	prolongAxisInto(dst, src, axis, J)
+}
+
 func restrictAxisInto(dst, src *G, axis int, J []float64) {
 	half := len(J) / 2
 	n := src.N[axis]

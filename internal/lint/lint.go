@@ -93,6 +93,12 @@ var numericPkgs = map[string]bool{
 	// numeric core.
 	"internal/serve":         true,
 	"internal/serve/loadgen": true,
+	// The rank-decomposed engine and its halo-exchange layer must be
+	// bitwise identical to the serial path at any rank count, so a
+	// nondeterministic map range anywhere in them is a trajectory
+	// divergence.
+	"internal/dist": true,
+	"internal/rank": true,
 }
 
 // noclockExempt are packages where wall-clock reads are the point
@@ -112,11 +118,12 @@ var errdropPkgs = map[string]bool{
 }
 
 // goleakScope covers the packages that launch goroutines as part of the
-// product (the service tier, the worker pool, and the commands): every
-// spawn there must be joinable.
+// product (the service tier, the worker pool, the rank engine, and the
+// commands): every spawn there must be joinable.
 func goleakScope(rel string) bool {
 	return rel == "internal/par" || rel == "internal/serve" ||
 		strings.HasPrefix(rel, "internal/serve/") ||
+		rel == "internal/rank" ||
 		rel == "cmd" || strings.HasPrefix(rel, "cmd/")
 }
 

@@ -1,0 +1,52 @@
+package rank
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestStepZeroAlloc is the steady-state allocation gate: after the boot
+// round and one warm-up step (which grow the reusable packet/scratch
+// arrays to their working set), a full rank step — integration, halo
+// exchanges, short-range, the whole mesh pipeline, and the engine-side
+// fold — must allocate nothing.
+func TestStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	for _, tf := range []testFF{
+		{side: 6, rc: 0.23, mesh: true},
+		{side: 6, rc: 0.23, mesh: false},
+	} {
+		mode := "cutoff"
+		if tf.mesh {
+			mode = "tme"
+		}
+		t.Run(mode, func(t *testing.T) {
+			sys := buildSystem(tf)
+			eng, err := New(Config{Ranks: 4}, sys, newForceField(tf, sys.Box), 0.001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			for s := 0; s < 2; s++ {
+				if _, err := eng.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				if _, err := eng.Step(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Step allocates %.1f times per call, want 0", avg)
+			}
+		})
+	}
+}

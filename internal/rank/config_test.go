@@ -1,0 +1,114 @@
+package rank
+
+import (
+	"strings"
+	"testing"
+
+	"tme4a/internal/bonded"
+	"tme4a/internal/core"
+	"tme4a/internal/md"
+	"tme4a/internal/vec"
+)
+
+// fakeMesh is a MeshSolver that is not the TME solver.
+type fakeMesh struct{}
+
+func (fakeMesh) LongRange(pos []vec.V, q []float64, f []vec.V) float64 { return 0 }
+
+// TestNewRejects exercises every construction-time validation: the rank
+// engine must refuse configurations it cannot decompose bitwise rather
+// than silently diverge.
+func TestNewRejects(t *testing.T) {
+	tf := testFF{side: 6, rc: 0.23, mesh: true}
+	sys := buildSystem(tf)
+	cases := []struct {
+		name string
+		cfg  Config
+		ff   func() *md.ForceField
+		want string
+	}{
+		{
+			name: "zero ranks",
+			cfg:  Config{Ranks: 0},
+			ff:   func() *md.ForceField { return newForceField(tf, sys.Box) },
+			want: "rank count",
+		},
+		{
+			name: "verlet skin",
+			cfg:  Config{Ranks: 2},
+			ff: func() *md.ForceField {
+				ff := newForceField(tf, sys.Box)
+				ff.Skin = 0.05
+				return ff
+			},
+			want: "skin",
+		},
+		{
+			name: "bonded terms",
+			cfg:  Config{Ranks: 2},
+			ff: func() *md.ForceField {
+				ff := newForceField(tf, sys.Box)
+				ff.Bonded = &bonded.FF{}
+				return ff
+			},
+			want: "bonded",
+		},
+		{
+			name: "non-TME mesh",
+			cfg:  Config{Ranks: 2},
+			ff: func() *md.ForceField {
+				ff := newForceField(tf, sys.Box)
+				ff.Mesh = fakeMesh{}
+				return ff
+			},
+			want: "not rank-decomposable",
+		},
+		{
+			name: "mesh box mismatch",
+			cfg:  Config{Ranks: 2},
+			ff: func() *md.ForceField {
+				ff := newForceField(tf, sys.Box)
+				other := vec.Box{L: vec.V{9, 9, 9}}
+				prm := ff.Mesh.(*core.Solver).Prm
+				ff.Mesh = core.New(prm, other)
+				return ff
+			},
+			want: "does not match system box",
+		},
+		{
+			name: "direct mode",
+			cfg:  Config{Ranks: 2},
+			ff: func() *md.ForceField {
+				ff := newForceField(tf, sys.Box)
+				ff.Mesh = nil
+				ff.Rc = sys.Box.L[0] / 2.5 // fewer than 3 cells per axis
+				return ff
+			},
+			want: "direct mode",
+		},
+		{
+			name: "more ranks than layers",
+			cfg:  Config{Ranks: 64},
+			ff:   func() *md.ForceField { return newForceField(tf, sys.Box) },
+			want: "need ranks <= layers",
+		},
+		{
+			name: "indivisible mesh planes",
+			cfg:  Config{Ranks: 3},
+			ff:   func() *md.ForceField { return newForceField(tf, sys.Box) },
+			want: "divisible",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := New(tc.cfg, sys, tc.ff(), 0.001)
+			if err == nil {
+				eng.Close()
+				t.Fatalf("New accepted %s", tc.name)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(tc.want)) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

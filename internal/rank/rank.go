@@ -1,0 +1,55 @@
+// Package rank runs the MD engine in a rank-decomposed mode: R worker
+// goroutines ("ranks"), each owning a contiguous block of cell-list
+// z layers for the short-range term and the matching z-plane block of
+// every TME level grid (internal/dist) for the long-range term,
+// communicate exclusively over typed message channels — position halos,
+// deferred Newton reaction forces, computed-force returns, packed grid
+// sleeves, top-grid gather/scatter — laid out like the MDGRAPE-4A torus
+// traffic the paper describes. A full Engine.Step over R ranks is bitwise
+// identical to the single-process md.Integrator.Step at any rank count
+// and any GOMAXPROCS.
+//
+// # Determinism
+//
+// Every reduction that crosses ranks is replayed in a fixed serial order
+// on fixed operand sets:
+//
+//   - short-range forces follow nonbond.ComputeSlabRange's owner-pass +
+//     deferred phases, with the one cross-rank deferred list applied in
+//     the serial applyDeferred position;
+//   - mesh grids use the internal/dist halo tables, whose z kernels
+//     reproduce the serial per-element arithmetic exactly;
+//   - energies travel as per-slab/per-atom partial terms and are folded
+//     by the engine in the serial chunk orders (nonbond slab order,
+//     pmesh.ReplayEnergy, ewald.ReplayExclusionEnergy).
+//
+// Message delivery order cannot perturb any of this: each ordered rank
+// pair has one channel carrying a fixed per-step schedule of messages
+// (see protocol.go), so every receive is matched to one deterministic
+// send regardless of goroutine interleaving.
+//
+// # Liveness
+//
+// Channel capacities equal the full per-step schedule, so sends never
+// block and a deadlock can only be a missing message. A worker panic
+// aborts all ranks and surfaces as one joined step error; an optional
+// watchdog (Config.StepTimeout) converts a lost or mis-sized exchange
+// into a diagnosable error instead of a hang.
+package rank
+
+import "time"
+
+// Config parameterizes the rank engine.
+type Config struct {
+	// Ranks is the number of worker goroutines R. Each owns ~ns/R cell
+	// layers (ns = cell-list z layers) and, in mesh mode, nz/R planes of
+	// every level grid; R must satisfy 1 ≤ R ≤ ns and divide every
+	// level's plane count.
+	Ranks int
+
+	// StepTimeout, when positive, arms a per-step watchdog: a step that
+	// does not complete in time aborts all ranks and returns a deadlock
+	// diagnosis. Zero (the default) disables the timer, which keeps the
+	// step path allocation-free.
+	StepTimeout time.Duration
+}

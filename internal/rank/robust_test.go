@@ -1,0 +1,134 @@
+package rank
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestEngine builds a small cutoff-mode engine for protocol-fault
+// injection. The caller owns Close.
+func newTestEngine(t *testing.T, r int, timeout time.Duration) *Engine {
+	t.Helper()
+	tf := testFF{side: 6, rc: 0.23, mesh: false}
+	sys := buildSystem(tf)
+	eng, err := New(Config{Ranks: r, StepTimeout: timeout}, sys, newForceField(tf, sys.Box), 0.001)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return eng
+}
+
+// TestRankPanicFailsStep: a panic on one rank mid-step must surface as a
+// joined error naming that rank, abort the peers cleanly (no deadlock,
+// no goroutine leak), and leave the engine permanently broken.
+func TestRankPanicFailsStep(t *testing.T) {
+	before := runtime.NumGoroutine()
+	eng := newTestEngine(t, 4, 0)
+	// The boot round is step 1; the first Step's integration round is
+	// step 2. Blow up rank 2 there, after the peers are mid-exchange.
+	eng.workers[2].testPanic = func(step int) {
+		if step == 2 {
+			panic("injected fault")
+		}
+	}
+	_, err := eng.Step()
+	if err == nil {
+		t.Fatal("Step succeeded despite an injected rank panic")
+	}
+	for _, want := range []string{"rank 2", "panic", "injected fault"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// Aborted peers must not leak into the report as failures.
+	if strings.Contains(err.Error(), "aborted by peer") {
+		t.Errorf("error %q leaks the peer-abort sentinel", err)
+	}
+	// The engine is sticky-broken: later steps return the same error.
+	if _, err2 := eng.Step(); err2 == nil || err2.Error() != err.Error() {
+		t.Errorf("second Step after failure: %v, want the original %v", err2, err)
+	}
+	eng.Close()
+	waitGoroutines(t, before)
+}
+
+// TestWatchdogDetectsDeadlock: dropping a scheduled message starves the
+// receiver; the watchdog must convert the hang into a diagnosis and
+// unwind every rank. The dropped message is the last one rank 0 sends
+// rank 1 in a cutoff step (the short-force return) — dropping an
+// earlier one would shift the schedule and trip the louder kind-drift
+// assertion instead (see TestDroppedMessageTripsKindAssert).
+func TestWatchdogDetectsDeadlock(t *testing.T) {
+	before := runtime.NumGoroutine()
+	eng := newTestEngine(t, 2, 2*time.Second)
+	eng.workers[0].testDrop = func(dst int, kind uint8) bool {
+		return dst == 1 && kind == kindShort
+	}
+	_, err := eng.Step()
+	if err == nil {
+		t.Fatal("Step succeeded despite a dropped protocol message")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("error %q does not diagnose a deadlock", err)
+	}
+	if _, err2 := eng.Step(); err2 == nil {
+		t.Error("engine not broken after a watchdog trip")
+	}
+	eng.Close()
+	waitGoroutines(t, before)
+}
+
+// TestDroppedMessageTripsKindAssert: losing a mid-schedule message
+// shifts every later packet into the wrong slot; the receiver's kind
+// assertion must catch the drift immediately instead of consuming a
+// mismatched payload.
+func TestDroppedMessageTripsKindAssert(t *testing.T) {
+	before := runtime.NumGoroutine()
+	eng := newTestEngine(t, 2, 2*time.Second)
+	eng.workers[0].testDrop = func(dst int, kind uint8) bool {
+		return dst == 1 && kind == kindPos
+	}
+	_, err := eng.Step()
+	if err == nil {
+		t.Fatal("Step succeeded despite a dropped protocol message")
+	}
+	if !strings.Contains(err.Error(), "protocol drift") {
+		t.Errorf("error %q does not flag protocol drift", err)
+	}
+	eng.Close()
+	waitGoroutines(t, before)
+}
+
+// TestCloseIsIdempotent: Close twice is safe, and stepping a closed
+// engine reports it.
+func TestCloseIsIdempotent(t *testing.T) {
+	before := runtime.NumGoroutine()
+	eng := newTestEngine(t, 2, 0)
+	if _, err := eng.Step(); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	eng.Close()
+	eng.Close()
+	if _, err := eng.Step(); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("Step after Close: %v, want a closed-engine error", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines asserts the goroutine count returns to the baseline
+// (small grace loop: exiting goroutines deschedule asynchronously).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := 100
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		if i >= deadline {
+			t.Fatalf("%d goroutines still running, want <= %d: rank workers leaked", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

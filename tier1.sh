@@ -5,13 +5,16 @@
 # cell list, nonbond, md, the bonded/constraint/summation packages, the
 # obs stage recorder whose atomic slots every parallel stage touches, the
 # quadrature tables, the solver registry whose round-trip tests drive
-# every registered method's parallel pipeline, and the serve tier whose
-# scheduler loop shares the job table with concurrent API readers),
-# and a one-iteration benchmark smoke so the benchmarks themselves cannot
-# rot. Fuzz smokes of the snapshot decoder (30s) and the job-spec decoder
-# (15s) keep both byte-level attack surfaces (arbitrary bytes into
-# GobDecode, arbitrary JSON into the daemon) continuously exercised beyond
-# the committed seed corpora.
+# every registered method's parallel pipeline, the serve tier whose
+# scheduler loop shares the job table with concurrent API readers, the
+# dist halo-exchange layer, and the rank engine whose short equivalence
+# matrix re-proves the bitwise rank-count invariance under the race
+# detector every run), and a one-iteration benchmark smoke so the
+# benchmarks themselves cannot rot. Fuzz smokes of the snapshot decoder
+# (30s), the job-spec decoder (15s) and the halo partition (10s) keep the
+# byte-level attack surfaces (arbitrary bytes into GobDecode, arbitrary
+# JSON into the daemon, arbitrary geometry into the halo planner)
+# continuously exercised beyond the committed seed corpora.
 # tmevet runs with the committed baseline (grandfathered noalloc-ipa
 # findings in the deep engine, see DESIGN.md §7.8): any NEW finding fails
 # the gate, and the deterministic JSON report lands in tmevet.json for CI
@@ -31,9 +34,10 @@ go test -race ./internal/par/ ./internal/grid/ ./internal/pmesh/ \
 	./internal/ewald/ ./internal/msm/ ./internal/bonded/ \
 	./internal/constraint/ ./internal/obs/ ./internal/ckpt/ \
 	./internal/quad/ ./internal/solver/ \
-	./internal/serve/ ./internal/serve/loadgen/
-go test -race -short ./internal/md/ ./internal/expt/
+	./internal/serve/ ./internal/serve/loadgen/ ./internal/dist/
+go test -race -short ./internal/md/ ./internal/expt/ ./internal/rank/
 go test -run '^$' -fuzz '^FuzzSnapshotDecode$' -fuzztime 30s ./internal/md/
 go test -run '^$' -fuzz '^FuzzJobSpecDecode$' -fuzztime 15s ./internal/serve/
+go test -run '^$' -fuzz '^FuzzHaloPartition$' -fuzztime 10s ./internal/dist/
 go test -run '^$' -fuzz '^FuzzIgnoreDirective$' -fuzztime 10s ./internal/lint/
 go test -run '^$' -bench . -benchtime 1x . ./internal/nonbond/ > /dev/null
