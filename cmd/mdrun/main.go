@@ -20,6 +20,20 @@
 // but draws fresh noise). -steps is the total trajectory length, so the
 // resumed run performs only the remaining steps.
 //
+// Auto-tuning (see DESIGN.md §7.10):
+//
+//	mdrun -side 10 -steps 500 -tune -errbudget 1e-3
+//	mdrun -side 10 -steps 5000 -tune -errbudget 1e-3 -retune \
+//	      -checkpoint-dir ck -checkpoint-every 500
+//
+// -tune replaces the manual solver flags with the internal/tune plan:
+// the cheapest enumerated method/kernel/cutoff/grid configuration whose
+// predicted relative force error meets -errbudget. -retune additionally
+// watches live per-stage timings and, when they drift off the cost
+// model at a checkpoint boundary, switches to a re-planned
+// configuration — bitwise identically to restarting from that
+// checkpoint under the new plan.
+//
 // Rank-decomposed execution (see DESIGN.md §7.9):
 //
 //	mdrun -ranks 4 -side 6 -rc 0.23 -grid 32 -M 2 -gc 4 -steps 100
@@ -45,6 +59,7 @@ import (
 	"tme4a/internal/rank"
 	"tme4a/internal/solver"
 	"tme4a/internal/spme"
+	"tme4a/internal/tune"
 	"tme4a/internal/water"
 
 	// Populate the solver registry.
@@ -74,14 +89,71 @@ func main() {
 		ckKeep  = flag.Int("checkpoint-keep", 3, "checkpoints retained (keep-last-K)")
 		resume  = flag.Bool("resume", false, "restore from the newest valid checkpoint in -checkpoint-dir")
 		ranks   = flag.Int("ranks", 0, "rank-decomposed run with N domain workers (0 = serial; NVE, cutoff|tme only)")
+		tuneOn  = flag.Bool("tune", false, "auto-tune: pick method/kernel/rc/grid/gc/M for -errbudget, ignoring the manual solver flags")
+		budget  = flag.Float64("errbudget", 1e-3, "relative force-error budget for -tune")
+		retune  = flag.Bool("retune", false, "with -tune and checkpointing: re-plan at checkpoint boundaries when stage timings drift off the cost model")
 	)
 	flag.Parse()
 
+	// Auto-tuning resolves the solver configuration before anything else:
+	// the plan is a pure function of (box, atoms, budget), so it can be
+	// recomputed identically on a resume from the same flags, and the
+	// resolved values flow into the config hash below exactly like
+	// hand-picked ones.
+	var (
+		skin     float64
+		tuneReq  tune.Request
+		tunePlan tune.Plan
+	)
+	if *tuneOn {
+		if *in != "" {
+			fatalf("-tune plans from -side; it does not combine with -in")
+		}
+		if *ranks > 0 {
+			fatalf("-tune does not combine with -ranks")
+		}
+		tuneReq = tune.Request{
+			Box:       water.CubicBoxFor(*side * *side * *side),
+			Atoms:     3 * *side * *side * *side,
+			ErrBudget: *budget,
+		}
+		var err error
+		tunePlan, err = tune.PlanFor(tuneReq)
+		if err != nil {
+			fatalf("tune: %v", err)
+		}
+		fmt.Printf("tuned plan: %s\n", tunePlan.String())
+		*method, *kernel, *rc = tunePlan.Method, tunePlan.Kernel, tunePlan.Rc
+		*gridN, *gc, *m, *levels = tunePlan.Grid[0], tunePlan.Gc, tunePlan.M, tunePlan.Levels
+		if *levels < 1 {
+			*levels = 1
+		}
+		skin = tunePlan.Skin
+	}
+	if *retune {
+		if !*tuneOn {
+			fatalf("-retune requires -tune")
+		}
+		if *ckDir == "" || *ckEvery <= 0 {
+			fatalf("-retune re-plans at checkpoint boundaries; set -checkpoint-dir and -checkpoint-every")
+		}
+		if *nvt {
+			fatalf("-retune is NVE only; drop -nvt")
+		}
+	}
+
 	// Everything that shapes the trajectory goes into the config hash;
 	// a checkpoint from a run with different parameters is refused.
-	cfgHash := ckpt.ConfigHash(fmt.Sprintf(
+	cfgStr := fmt.Sprintf(
 		"mdrun in=%q side=%d method=%s kernel=%s rc=%g grid=%d M=%d gc=%d L=%d T=%g nvt=%t seed=%d dt=0.001",
-		*in, *side, *method, *kernel, *rc, *gridN, *m, *gc, *levels, *temp, *nvt, *seed))
+		*in, *side, *method, *kernel, *rc, *gridN, *m, *gc, *levels, *temp, *nvt, *seed)
+	if *tuneOn {
+		// A tuned run's trajectory additionally depends on the skin and —
+		// through possible mid-run retunes — on the budget; non-tuned runs
+		// keep the historical hash string so their checkpoints stay valid.
+		cfgStr += fmt.Sprintf(" tune=true errbudget=%g skin=%g retune=%t", *budget, skin, *retune)
+	}
+	cfgHash := ckpt.ConfigHash(cfgStr)
 
 	var store *ckpt.Store
 	openStore := func() *ckpt.Store {
@@ -165,14 +237,16 @@ func main() {
 	}
 
 	integ := &md.Integrator{
-		FF: &md.ForceField{Alpha: alpha, Rc: *rc, Mesh: mesh},
+		FF: &md.ForceField{Alpha: alpha, Rc: *rc, Skin: skin, Mesh: mesh},
 		Dt: 0.001,
 	}
 	if *nvt {
 		integ.Thermostat = &md.Thermostat{T: *temp, Tau: 0.1}
 	}
 	var rec *obs.Recorder
-	if *obsOn {
+	if *obsOn || *retune {
+		// The retune monitor feeds on live stage timings, so -retune
+		// records them even without -obs.
 		rec = obs.New()
 		integ.SetObs(rec)
 	}
@@ -200,6 +274,14 @@ func main() {
 	fmt.Printf("%d atoms, method %s, rc %.2f nm, α %.3f nm⁻¹, grid %d³\n",
 		sys.N(), *method, *rc, alpha, *gridN)
 	fmt.Printf("%8s %14s %14s %14s %8s\n", "step", "potential", "kinetic", "total", "T(K)")
+	if *retune {
+		runRetuned(sys, integ, rec, store, meta, tuneReq, tunePlan, startStep, remaining, *every, *ckEvery)
+		if rec != nil && *obsOn {
+			fmt.Println()
+			rec.Report(*method, sys.N(), runtime.GOMAXPROCS(0)).Render(os.Stdout, 60)
+		}
+		return
+	}
 	integ.Run(sys, remaining, func(s int, e md.Energies) {
 		abs := startStep + s
 		if abs%*every == 0 || s == 1 {
@@ -215,6 +297,46 @@ func main() {
 	if rec != nil {
 		fmt.Println()
 		rec.Report(*method, sys.N(), runtime.GOMAXPROCS(0)).Render(os.Stdout, 60)
+	}
+}
+
+// runRetuned drives the trajectory with the online retune loop: each
+// checkpoint boundary saves a snapshot, hands the live obs profile to
+// the drift monitor, and — when the monitor re-plans — switches the
+// integrator through tune.Switch. The switch consumes exactly the state
+// a fresh restore of that checkpoint would, so the trajectory after a
+// retune is bitwise identical to restarting under the new plan
+// (TestRetuneBitwise pins this).
+func runRetuned(sys *md.System, integ *md.Integrator, rec *obs.Recorder, store *ckpt.Store,
+	meta map[string]int64, req tune.Request, plan tune.Plan, startStep, remaining, every, ckEvery int) {
+	mon := tune.NewMonitor(req, plan)
+	for s := 1; s <= remaining; s++ {
+		e := integ.Step(sys)
+		abs := startStep + s
+		if abs%every == 0 || s == 1 {
+			fmt.Printf("%8d %14.3f %14.3f %14.3f %8.1f\n",
+				abs, e.Potential(), e.Kinetic, e.Total(), sys.Temperature())
+		}
+		if abs%ckEvery != 0 {
+			continue
+		}
+		snap := integ.CaptureResume(sys, meta)
+		if err := store.Save(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: checkpoint at step %d failed: %v\n", abs, err)
+			continue
+		}
+		next, changed := mon.Observe(rec.Profile(), int64(s))
+		if !changed {
+			continue
+		}
+		ni, err := tune.Switch(sys, snap, next, integ.Dt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrun: retune switch failed, keeping current plan: %v\n", err)
+			continue
+		}
+		integ = ni
+		integ.SetObs(rec)
+		fmt.Printf("%8d retune: %s\n", abs, next.String())
 	}
 }
 

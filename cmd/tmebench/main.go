@@ -17,6 +17,7 @@
 //	tmebench -exp grid64     64³ (L=2) projection (Sec VI.A)
 //	tmebench -exp whatif     Sec VI.B design-space accelerations
 //	tmebench -exp saturate   mdserve multi-tenant saturation sweep
+//	tmebench -exp autotune   auto-tuner oracle: measured error/cost of every plan
 //	tmebench -exp all        everything above
 //
 // By default experiments run at single-host ("quick") scale, which
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,shootout,fig4,fig4resume,fig9,fig9live,fig10,fig10scale,overlap,table2,costmodel,grid64,whatif,saturate,all")
+	exp := flag.String("exp", "all", "experiment: fig3a,fig3b,table1,shootout,fig4,fig4resume,fig9,fig9live,fig10,fig10scale,overlap,table2,costmodel,grid64,whatif,saturate,autotune,all")
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
 	outDir := flag.String("out", "results", "output directory ('' = stdout only)")
 	flag.Parse()
@@ -46,7 +47,7 @@ func main() {
 	runner := &runner{full: *full, outDir: *outDir}
 	exps := []string{*exp}
 	if *exp == "all" {
-		exps = []string{"fig3a", "fig3b", "table1", "shootout", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "fig10scale", "overlap", "table2", "costmodel", "grid64", "whatif", "saturate"}
+		exps = []string{"fig3a", "fig3b", "table1", "shootout", "fig4", "fig4resume", "fig9", "fig9live", "fig10", "fig10scale", "overlap", "table2", "costmodel", "grid64", "whatif", "saturate", "autotune"}
 	}
 	for _, e := range exps {
 		if err := runner.run(e); err != nil {
@@ -232,6 +233,26 @@ func (r *runner) run(exp string) error {
 			return err
 		}
 		fmt.Println("wrote BENCH_serve.json")
+	case "autotune":
+		w, done := r.out("autotune.csv")
+		defer done()
+		rows, verdicts, err := expt.RunAutotune(expt.QuickAutotune(), w)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create("BENCH_tune.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"experiment": "autotune", "rows": rows, "verdicts": verdicts,
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_tune.json")
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

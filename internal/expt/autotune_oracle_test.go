@@ -1,0 +1,54 @@
+package expt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAutotuneOracle is the brute-force oracle for the auto-tuner: it
+// measures the TRUE relative force error and step time of every candidate
+// plan on the 512-water box (whose grid-8 spacing reproduces the Table-1
+// operating point h = 0.3106 nm exactly), then checks, at four budgets
+// spanning the Table-1 error range, that the tuner's pick
+//
+//   - never violates the error budget (measured, not predicted, error),
+//   - lands within 15% of the true-best step time among all candidates
+//     that actually meet the budget.
+//
+// The Ewald reference forces come from the committed cache, so the test
+// costs the equilibration plus one long-range solve and a few timed steps
+// per candidate. Skipped in -short mode; runs in full tier-1.
+func TestAutotuneOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autotune oracle measures every candidate plan (~1 min)")
+	}
+	cfg := QuickAutotune()
+	cfg.CacheDir = "../../results/cache"
+
+	var log bytes.Buffer
+	rows, verdicts, err := RunAutotune(cfg, &log)
+	if err != nil {
+		t.Fatalf("RunAutotune: %v", err)
+	}
+	if len(rows) < 20 {
+		t.Errorf("only %d candidates measured; the enumeration should produce dozens", len(rows))
+	}
+	if len(verdicts) != len(cfg.Budgets) {
+		t.Fatalf("%d verdicts for %d budgets", len(verdicts), len(cfg.Budgets))
+	}
+
+	const slack = 0.15
+	for _, v := range verdicts {
+		if !v.MeetBudget {
+			t.Errorf("budget %.3g: pick %s has measured error %.3e over budget",
+				v.Budget, v.Pick.String(), v.PickErr)
+		}
+		if v.WithinFrac > slack {
+			t.Errorf("budget %.3g: pick %s takes %.3f ms, %.0f%% over true best %s (%.3f ms)",
+				v.Budget, v.Pick.String(), v.PickMs, 100*v.WithinFrac, v.Best.String(), v.BestMs)
+		}
+	}
+	if t.Failed() {
+		t.Logf("oracle log:\n%s", log.String())
+	}
+}

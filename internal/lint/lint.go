@@ -99,6 +99,11 @@ var numericPkgs = map[string]bool{
 	// divergence.
 	"internal/dist": true,
 	"internal/rank": true,
+	// The auto-tuner is a pure cost/error model: its plans feed config
+	// hashes and the retune path, so any map-range or clock
+	// nondeterminism in it would split trajectories between bitwise-equal
+	// runs. Measuring code lives in internal/expt, which is noclock-exempt.
+	"internal/tune": true,
 }
 
 // noclockExempt are packages where wall-clock reads are the point

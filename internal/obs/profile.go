@@ -1,0 +1,46 @@
+package obs
+
+// Profile is an immutable snapshot of every stage's accumulated time and
+// span count, indexed by Stage. The auto-tuner's drift monitor
+// (internal/tune) diffs two profiles taken at consecutive checkpoint
+// boundaries to obtain the measured per-stage cost of the window between
+// them, without ever mutating the recorder.
+type Profile struct {
+	Ns    [NumStages]int64
+	Count [NumStages]int64
+}
+
+// Profile snapshots the recorder's stage accumulators. On a nil recorder
+// it returns the zero Profile. Each slot is loaded atomically; the
+// snapshot as a whole is not a cross-stage atomic cut, which is fine for
+// the monitor's use (it reads between steps, when nothing records).
+func (r *Recorder) Profile() Profile {
+	var p Profile
+	if r == nil {
+		return p
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		p.Ns[s] = r.stages[s].ns.Load()
+		p.Count[s] = r.stages[s].count.Load()
+	}
+	return p
+}
+
+// Delta returns the per-stage difference p − prev: the work recorded in
+// the window between the two snapshots.
+func (p Profile) Delta(prev Profile) Profile {
+	var d Profile
+	for s := Stage(0); s < NumStages; s++ {
+		d.Ns[s] = p.Ns[s] - prev.Ns[s]
+		d.Count[s] = p.Count[s] - prev.Count[s]
+	}
+	return d
+}
+
+// StageNs returns the profile's accumulated nanoseconds of stage s.
+func (p Profile) StageNs(s Stage) int64 {
+	if s >= NumStages {
+		return 0
+	}
+	return p.Ns[s]
+}

@@ -1,0 +1,58 @@
+package obs
+
+import "testing"
+
+// TestProfileSnapshotAndDelta drives a scripted clock through two windows
+// and checks that Profile/Delta report exactly the recorded work.
+func TestProfileSnapshotAndDelta(t *testing.T) {
+	now := int64(0)
+	r := NewWithClock(func() int64 { return now })
+
+	sp := r.Start(StageShortRange)
+	now += 100
+	sp.Stop()
+	first := r.Profile()
+	if got := first.StageNs(StageShortRange); got != 100 {
+		t.Fatalf("first window short-range ns = %d, want 100", got)
+	}
+	if got := first.Count[StageShortRange]; got != 1 {
+		t.Fatalf("first window short-range count = %d, want 1", got)
+	}
+
+	sp = r.Start(StageShortRange)
+	now += 40
+	sp.Stop()
+	sp = r.Start(StageMesh)
+	now += 7
+	sp.Stop()
+	second := r.Profile()
+
+	d := second.Delta(first)
+	if got := d.StageNs(StageShortRange); got != 40 {
+		t.Errorf("delta short-range ns = %d, want 40", got)
+	}
+	if got := d.StageNs(StageMesh); got != 7 {
+		t.Errorf("delta mesh ns = %d, want 7", got)
+	}
+	if got := d.Count[StageMesh]; got != 1 {
+		t.Errorf("delta mesh count = %d, want 1", got)
+	}
+	if got := d.StageNs(StageStep); got != 0 {
+		t.Errorf("delta step ns = %d, want 0", got)
+	}
+	if got := d.StageNs(NumStages + 3); got != 0 {
+		t.Errorf("out-of-range stage ns = %d, want 0", got)
+	}
+}
+
+// TestProfileNilRecorder checks the nil no-op contract shared by the rest
+// of the package.
+func TestProfileNilRecorder(t *testing.T) {
+	var r *Recorder
+	p := r.Profile()
+	for s := Stage(0); s < NumStages; s++ {
+		if p.Ns[s] != 0 || p.Count[s] != 0 {
+			t.Fatalf("nil recorder profile has non-zero slot at stage %v", s)
+		}
+	}
+}

@@ -35,6 +35,60 @@ func TestCostTableMatchesSecIIIC(t *testing.T) {
 	if got := CommCostTME(8, 4, 0.5); got != 18*0.25*512 {
 		t.Errorf("CommCostTME = %g", got)
 	}
+	// Pin every cell of the Sec. III.C table so a scoring refactor that
+	// perturbs the cost model shows up as an explicit diff here.
+	want := []CostRow{
+		{Gamma: 0.5, NxPx: 4, CompMSM: 314432, CompTME: 13056,
+			CommMSM: 7936, CommTME: 2304, CompRatio: 314432.0 / 13056, CommRatio: 7936.0 / 2304},
+		{Gamma: 1, NxPx: 8, CompMSM: 2515456, CompTME: 104448,
+			CommMSM: 13312, CommTME: 9216, CompRatio: 2515456.0 / 104448, CommRatio: 13312.0 / 9216},
+	}
+	for i, r := range rows {
+		if r != want[i] {
+			t.Errorf("CostTable row %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+// TestBreakdownRows checks that the per-stage rows the tuner scores with
+// sum to exactly the aggregate times (bit-identical association order)
+// and carry the expected stage structure per method.
+func TestBreakdownRows(t *testing.T) {
+	s := DefaultScaling()
+	for _, p := range []int{8, 64, 512, 4096} {
+		for _, tc := range []struct {
+			b      Breakdown
+			total  float64
+			stages []string
+		}{
+			{s.PMEBreakdown(p), s.PMETime(p), []string{"fft", "transpose"}},
+			{s.MSMBreakdown(p), s.MSMTime(p), []string{"conv", "halo"}},
+			{s.TMEBreakdown(p), s.TMETime(p), []string{"conv", "halo", "top"}},
+		} {
+			if got := tc.b.Total(); got != tc.total {
+				t.Errorf("p=%d %s: Breakdown.Total %g != aggregate %g", p, tc.b.Method, got, tc.total)
+			}
+			if len(tc.b.Stages) != len(tc.stages) {
+				t.Fatalf("p=%d %s: %d stages, want %d", p, tc.b.Method, len(tc.b.Stages), len(tc.stages))
+			}
+			var sum float64
+			for i, st := range tc.b.Stages {
+				if st.Stage != tc.stages[i] {
+					t.Errorf("p=%d %s: stage %d is %q, want %q", p, tc.b.Method, i, st.Stage, tc.stages[i])
+				}
+				if st.Units <= 0 || st.Time <= 0 {
+					t.Errorf("p=%d %s/%s: non-positive row %+v", p, tc.b.Method, st.Stage, st)
+				}
+				sum += st.Time
+				if got := tc.b.StageTime(st.Stage); got != st.Time {
+					t.Errorf("p=%d %s: StageTime(%q) = %g, want %g", p, tc.b.Method, st.Stage, got, st.Time)
+				}
+			}
+			if tc.b.StageTime("no-such-stage") != 0 {
+				t.Errorf("p=%d %s: StageTime of unknown stage not 0", p, tc.b.Method)
+			}
+		}
+	}
 }
 
 // TestScalingCrossover reproduces the cited strong-scaling behaviour:

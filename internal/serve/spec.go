@@ -28,6 +28,7 @@ import (
 	"tme4a/internal/md"
 	"tme4a/internal/solver"
 	"tme4a/internal/spme"
+	"tme4a/internal/tune"
 	"tme4a/internal/vec"
 	"tme4a/internal/water"
 
@@ -46,8 +47,12 @@ import (
 type Spec struct {
 	// Name is a free-form label echoed in listings.
 	Name string `json:"name,omitempty"`
-	// Method is "cutoff" (erfc-screened short range only) or any solver
-	// registry method (spme, tme, msm). Default "tme".
+	// Method is "cutoff" (erfc-screened short range only), any solver
+	// registry method (spme, tme, msm), or "auto": admission plans the
+	// cheapest registered configuration predicted to meet ErrBudget
+	// (internal/tune) and rewrites this spec to the concrete result, so
+	// the config hash and the stored job carry the resolved plan, never
+	// the word "auto". Default "tme".
 	Method string `json:"method,omitempty"`
 	// Kernel selects the TME middle-range family: "", "gauss", "useries".
 	Kernel string `json:"kernel,omitempty"`
@@ -80,6 +85,15 @@ type Spec struct {
 	// Equil is the number of cheap thermalization steps before the served
 	// trajectory starts. Default 50.
 	Equil int `json:"equil,omitempty"`
+	// ErrBudget is the relative force-error budget for method "auto".
+	// Required (and only meaningful) there; it stays on the resolved spec
+	// and in the config hash as a record of what the plan promised.
+	ErrBudget float64 `json:"err_budget,omitempty"`
+
+	// autoErr records a planning failure from Normalize's method-"auto"
+	// resolution; Validate surfaces it. Unexported on purpose: resolution
+	// happens once at admission, stored specs are already concrete.
+	autoErr error
 }
 
 // Admission bounds. The service refuses work it cannot multiplex fairly:
@@ -131,6 +145,9 @@ func (sp *Spec) Normalize() {
 	if sp.Side == 0 {
 		sp.Side = 4
 	}
+	if sp.Method == "auto" {
+		sp.resolveAuto()
+	}
 	if sp.Dt == 0 {
 		sp.Dt = 0.001
 	}
@@ -166,6 +183,40 @@ func (sp *Spec) Normalize() {
 	}
 }
 
+// resolveAuto rewrites a method-"auto" spec to the concrete plan the
+// tuner picks for its box and error budget. Planning failures (budget
+// out of range, infeasible budget) are parked in autoErr for Validate —
+// Normalize cannot return one. The plan fully determines method, kernel,
+// cutoff, grid, and mesh parameters; a skinless plan still runs with the
+// spec-default Verlet skin (the skin changes step cost, never accuracy).
+func (sp *Spec) resolveAuto() {
+	if sp.Side < minSide || sp.Side > maxSide {
+		sp.autoErr = fmt.Errorf("serve: side %d out of range [%d, %d]", sp.Side, minSide, maxSide)
+		return
+	}
+	plan, err := tune.PlanFor(tune.Request{
+		Box: sp.Box(), Atoms: 3 * sp.Side * sp.Side * sp.Side, ErrBudget: sp.ErrBudget,
+	})
+	if err != nil {
+		sp.autoErr = fmt.Errorf("serve: auto planning: %w", err)
+		return
+	}
+	sp.Method = plan.Method
+	sp.Kernel = plan.Kernel
+	sp.Rc = plan.Rc
+	sp.Grid = plan.Grid[0]
+	sp.Skin = plan.Skin
+	if plan.M > 0 {
+		sp.M = plan.M
+	}
+	if plan.Gc > 0 {
+		sp.Gc = plan.Gc
+	}
+	if plan.Levels > 0 {
+		sp.Levels = plan.Levels
+	}
+}
+
 // Box returns the cubic box the spec's molecule count fills at ambient
 // density.
 func (sp Spec) Box() vec.Box {
@@ -177,6 +228,12 @@ func (sp Spec) Box() vec.Box {
 // order, non-power-of-two grid, out-of-range u-series M, unknown kernel)
 // surface verbatim in the API response. The spec must be normalized.
 func (sp Spec) Validate() error {
+	if sp.autoErr != nil {
+		return sp.autoErr
+	}
+	if sp.ErrBudget != 0 && (sp.ErrBudget < 0 || sp.ErrBudget > 0.5 || sp.ErrBudget != sp.ErrBudget) {
+		return fmt.Errorf("serve: err_budget %g out of range (0, 0.5]", sp.ErrBudget)
+	}
 	if sp.Side < minSide || sp.Side > maxSide {
 		return fmt.Errorf("serve: side %d out of range [%d, %d]", sp.Side, minSide, maxSide)
 	}
@@ -235,9 +292,9 @@ func (sp Spec) Validate() error {
 // spec is refused by the store.
 func (sp Spec) canonical() string {
 	return fmt.Sprintf(
-		"serve method=%s kernel=%s side=%d steps=%d dt=%g rc=%g grid=%d M=%d gc=%d L=%d skin=%g meshEvery=%d T=%g seed=%d equil=%d rtol=1e-4",
+		"serve method=%s kernel=%s side=%d steps=%d dt=%g rc=%g grid=%d M=%d gc=%d L=%d skin=%g meshEvery=%d T=%g seed=%d equil=%d errbudget=%g rtol=1e-4",
 		sp.Method, sp.Kernel, sp.Side, sp.Steps, sp.Dt, sp.Rc, sp.Grid, sp.M, sp.Gc,
-		sp.Levels, sp.Skin, sp.MeshEvery, sp.Temp, sp.Seed, sp.Equil)
+		sp.Levels, sp.Skin, sp.MeshEvery, sp.Temp, sp.Seed, sp.Equil, sp.ErrBudget)
 }
 
 // ConfigHash fingerprints the normalized spec for the checkpoint store.

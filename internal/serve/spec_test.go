@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"tme4a/internal/tune"
 )
 
 // TestDecodeSpecStrict pins the strict decode contract: typos, trailing
@@ -107,6 +109,64 @@ func TestNormalizeStable(t *testing.T) {
 	}
 }
 
+// TestAutoSpecResolves: a method-"auto" submission is rewritten at
+// Normalize to the tuner's concrete plan — the stored job and its config
+// hash never contain "auto" — and the resolved spec passes the same
+// Validate as an explicit one.
+func TestAutoSpecResolves(t *testing.T) {
+	sp := Spec{Method: "auto", Side: 6, Steps: 100, ErrBudget: 1e-3}
+	sp.Normalize()
+	if sp.Method == "auto" || sp.Method == "" {
+		t.Fatalf("auto method not resolved: %+v", sp)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("resolved auto spec invalid: %v", err)
+	}
+	plan, err := tune.PlanFor(tune.Request{Box: sp.Box(), Atoms: 3 * 6 * 6 * 6, ErrBudget: 1e-3})
+	if err != nil {
+		t.Fatalf("PlanFor: %v", err)
+	}
+	if sp.Method != plan.Method || sp.Rc != plan.Rc || sp.Grid != plan.Grid[0] {
+		t.Errorf("spec %+v does not match the tuner's plan %s", sp, plan.String())
+	}
+
+	// The budget is part of the config hash, and a different budget that
+	// picks a different plan must hash differently.
+	loose := Spec{Method: "auto", Side: 6, Steps: 100, ErrBudget: 5e-3}
+	loose.Normalize()
+	if loose.ConfigHash() == sp.ConfigHash() {
+		t.Error("different budgets produced the same config hash")
+	}
+
+	// Idempotent: re-normalizing the resolved spec changes nothing.
+	again := sp
+	again.Normalize()
+	if again != sp {
+		t.Errorf("resolved spec not stable under Normalize: %+v vs %+v", again, sp)
+	}
+}
+
+// TestAutoSpecErrors: planning failures surface through Validate as
+// typed tuner errors; err_budget is bounds-checked even for explicit
+// methods.
+func TestAutoSpecErrors(t *testing.T) {
+	missing := Spec{Method: "auto", Side: 4, Steps: 10}
+	missing.Normalize()
+	if err := missing.Validate(); err == nil || !strings.Contains(err.Error(), "auto planning") {
+		t.Errorf("auto without err_budget: %v, want planning error", err)
+	}
+	infeasible := Spec{Method: "auto", Side: 4, Steps: 10, ErrBudget: 2e-6}
+	infeasible.Normalize()
+	if err := infeasible.Validate(); err == nil || !strings.Contains(err.Error(), "no plan meets error budget") {
+		t.Errorf("infeasible budget: %v, want infeasible planning error", err)
+	}
+	bad := Spec{Method: "tme", Side: 4, Steps: 10, ErrBudget: -1}
+	bad.Normalize()
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "err_budget") {
+		t.Errorf("negative err_budget: %v, want range error", err)
+	}
+}
+
 // FuzzJobSpecDecode fuzzes the submission decoder: arbitrary bytes must
 // never panic, and any accepted document must survive a normalize →
 // marshal → decode round trip with an identical spec and config hash.
@@ -115,6 +175,7 @@ func FuzzJobSpecDecode(f *testing.F) {
 	f.Add([]byte(`{"method":"cutoff","side":2,"steps":10,"seed":7}`))
 	f.Add([]byte(`{"method":"spme","grid":32,"steps":50,"dt":0.002,"rc":0.5}`))
 	f.Add([]byte(`{"method":"tme","kernel":"useries","m":6,"levels":2,"steps":1}`))
+	f.Add([]byte(`{"method":"auto","err_budget":0.001,"side":4,"steps":20}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`[1,2,3]`))

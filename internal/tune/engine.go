@@ -1,0 +1,124 @@
+package tune
+
+import (
+	"fmt"
+
+	"tme4a/internal/core"
+	"tme4a/internal/md"
+	"tme4a/internal/msm"
+	"tme4a/internal/solver"
+	"tme4a/internal/spme"
+	"tme4a/internal/vec"
+)
+
+// Plans materialize through the solver registry; importing the three
+// implementation packages here (core registers "tme") keeps every plan
+// the tuner can emit constructible by every caller of this package.
+
+// Alpha returns the plan's Ewald splitting parameter — derived, not
+// stored: every plan shares the RTol convention.
+func (p Plan) Alpha() float64 { return alphaFor(p.Rc) }
+
+// SolverConfig maps the plan onto the solver registry's superset config.
+func (p Plan) SolverConfig() solver.Config {
+	return solver.Config{
+		Alpha:  p.Alpha(),
+		Rc:     p.Rc,
+		Order:  p.Order,
+		N:      p.Grid,
+		Levels: p.Levels,
+		M:      p.M,
+		Gc:     p.Gc,
+		Kernel: p.Kernel,
+	}
+}
+
+// Validate checks the plan without allocating a solver: the plan-level
+// fields first, then the concrete method's Params.Validate — the same
+// checks the registry constructor would run. A plan returned by PlanFor
+// always passes (FuzzPlanRequest leans on this).
+func (p Plan) Validate() error {
+	if !isFinite(p.Rc) || p.Rc <= 0 {
+		return fmt.Errorf("tune: plan Rc %g, want positive", p.Rc)
+	}
+	if !isFinite(p.Skin) || p.Skin < 0 || p.Skin > maxSkin {
+		return fmt.Errorf("tune: plan Skin %g outside [0, %g]", p.Skin, float64(maxSkin))
+	}
+	if p.Slabs < 1 {
+		return fmt.Errorf("tune: plan Slabs %d, want ≥ 1", p.Slabs)
+	}
+	if !isFinite(p.PredErr) || p.PredErr <= 0 {
+		return fmt.Errorf("tune: plan PredErr %g, want positive", p.PredErr)
+	}
+	if !isFinite(p.PredMs) || p.PredMs <= 0 {
+		return fmt.Errorf("tune: plan PredMs %g, want positive", p.PredMs)
+	}
+	switch p.Method {
+	case "spme":
+		return spme.Params{Alpha: p.Alpha(), Rc: p.Rc, Order: p.Order, N: p.Grid}.Validate()
+	case "tme":
+		return core.Params{Alpha: p.Alpha(), Rc: p.Rc, Order: p.Order, N: p.Grid,
+			Levels: p.Levels, M: p.M, Gc: p.Gc, Kernel: core.KernelFamily(p.Kernel)}.Validate()
+	case "msm":
+		return msm.Params{Alpha: p.Alpha(), Rc: p.Rc, Order: p.Order, N: p.Grid,
+			Levels: p.Levels, Gc: p.Gc}.Validate()
+	}
+	return fmt.Errorf("tune: plan method %q not one of spme, tme, msm", p.Method)
+}
+
+// NewSolver constructs the plan's long-range solver for a box.
+func (p Plan) NewSolver(box vec.Box) (solver.Solver, error) {
+	return solver.New(p.Method, p.SolverConfig(), box)
+}
+
+// NewIntegrator constructs a velocity-Verlet integrator running the plan:
+// the plan's solver behind a force field with the plan's cutoff and skin.
+func (p Plan) NewIntegrator(box vec.Box, dt float64) (*md.Integrator, error) {
+	mesh, err := p.NewSolver(box)
+	if err != nil {
+		return nil, err
+	}
+	return &md.Integrator{
+		FF: &md.ForceField{Alpha: p.Alpha(), Rc: p.Rc, Skin: p.Skin, Mesh: mesh},
+		Dt: dt,
+	}, nil
+}
+
+// PlainState strips a resume snapshot to the plan-independent state:
+// box, positions, velocities, builder metadata and the step counter.
+// Everything else a CaptureResume snapshot carries — forces, Verlet
+// reference positions, cached mesh terms — is a cache of the *old*
+// plan's force evaluation and must not leak across a retune. Restoring
+// a plain snapshot leaves the integrator uninitialized, so its first
+// Step recomputes forces from scratch under the new plan.
+//
+// This is the retune bitwise guarantee: a mid-run switch and a fresh
+// process restoring the same checkpoint both pass through PlainState,
+// so they hand the new plan byte-identical inputs (TestRetuneBitwise).
+// The returned snapshot aliases the input's slices; it is a read-only
+// view for RestoreResume, not an independent copy.
+func PlainState(snap *md.Snapshot) *md.Snapshot {
+	return &md.Snapshot{
+		Box:  snap.Box,
+		Pos:  snap.Pos,
+		Vel:  snap.Vel,
+		Meta: snap.Meta,
+		Step: snap.Step,
+	}
+}
+
+// Switch builds the plan's integrator and moves a running system onto it
+// at a checkpoint boundary. The snapshot should come from
+// Integrator.CaptureResume (or a checkpoint load) at that boundary; its
+// plan-specific caches are dropped via PlainState, so the hand-off is
+// exactly a fresh resume under the new plan.
+func Switch(sys *md.System, snap *md.Snapshot, plan Plan, dt float64) (*md.Integrator, error) {
+	integ, err := plan.NewIntegrator(snap.Box, dt)
+	if err != nil {
+		return nil, err
+	}
+	if err := integ.RestoreResume(sys, PlainState(snap)); err != nil {
+		return nil, err
+	}
+	return integ, nil
+}

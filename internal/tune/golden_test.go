@@ -1,0 +1,66 @@
+package tune
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const goldenPlansPath = "../../results/autotune_plans.csv"
+
+// goldenBudgets spans the Table-1 accuracy range, from looser than the
+// coarsest measured point down past the feasibility floor, so the table
+// pins both the plan ladder and the infeasible sentinel rows.
+func goldenBudgets() []float64 {
+	return []float64{2e-3, 1e-3, 5e-4, 2e-4, 1.5e-4, 1e-4, 8e-5, 6e-5, 3e-5}
+}
+
+// TestGoldenDecisionTable byte-pins the tuner's decision ladder over the
+// Table-1 request. Any change to the enumeration order, the error
+// estimator, the cost weights, or the CSV formatting shows up as a diff
+// against results/autotune_plans.csv. Regenerate deliberately with
+// TUNE_REGEN=1 go test ./internal/tune -run TestGoldenDecisionTable.
+func TestGoldenDecisionTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DecisionTable(table1Request(), goldenBudgets(), &buf); err != nil {
+		t.Fatalf("DecisionTable: %v", err)
+	}
+	if os.Getenv("TUNE_REGEN") != "" {
+		if err := os.WriteFile(goldenPlansPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("regen: %v", err)
+		}
+		t.Logf("regenerated %s (%d bytes)", goldenPlansPath, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenPlansPath)
+	if err != nil {
+		t.Fatalf("golden table missing (regenerate with TUNE_REGEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("decision table drifted from %s.\n got:\n%s\nwant:\n%s\nRegenerate with TUNE_REGEN=1 if the change is intentional.",
+			goldenPlansPath, buf.String(), string(want))
+	}
+
+	// Structural sanity independent of the exact bytes: one row per
+	// budget, accuracy ladder tightens monotonically until infeasible.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if got, want := len(lines), 1+len(goldenBudgets()); got != want {
+		t.Fatalf("table has %d lines, want %d", got, want)
+	}
+	sawPlan, sawInfeasible := false, false
+	for _, line := range lines[1:] {
+		if strings.Contains(line, ",none,") {
+			sawInfeasible = true
+		} else {
+			if sawInfeasible {
+				t.Errorf("feasible row %q after an infeasible one — ladder not monotone", line)
+			}
+			sawPlan = true
+		}
+	}
+	if !sawPlan || !sawInfeasible {
+		t.Errorf("table should contain both plan rows and infeasible rows (plan=%v infeasible=%v)",
+			sawPlan, sawInfeasible)
+	}
+}

@@ -1,0 +1,143 @@
+package tune
+
+import (
+	"tme4a/internal/obs"
+)
+
+// Monitor watches live per-stage timings (obs.Profile snapshots taken at
+// checkpoint boundaries) and re-plans when the measured costs drift from
+// the cost model's prediction. It never reads a clock itself — the obs
+// recorder owns the clock seam — so a monitor driven by a scripted
+// profile is fully deterministic, and the production one is exactly as
+// deterministic as its timing inputs.
+//
+// The feedback loop is multiplicative: when the measured short-range or
+// mesh group runs r× the predicted cost, the group's weights are scaled
+// by r and the request is re-planned under the recalibrated weights. The
+// plan only changes when the reweighted ranking actually flips, so a
+// uniformly slow machine (both groups drift together) keeps its plan.
+type Monitor struct {
+	// Threshold is the relative drift that triggers a re-plan: 0.3 means
+	// a measured/predicted ratio outside [1/1.3, 1.3] on either stage
+	// group. Non-positive means the DefaultDriftThreshold.
+	Threshold float64
+
+	req     Request
+	plan    Plan
+	weights Weights
+
+	base      obs.Profile
+	baseSteps int64
+	haveBase  bool
+}
+
+// DefaultDriftThreshold is the re-plan trigger: the cost model's stage
+// weights are trusted to roughly ±30%; beyond that the measurements,
+// not the priors, should pick the plan.
+const DefaultDriftThreshold = 0.3
+
+// NewMonitor starts monitoring a running plan. The request should be the
+// one the plan was made from; the monitor re-plans through it.
+func NewMonitor(req Request, plan Plan) *Monitor {
+	w := DefaultWeights()
+	if req.Weights != nil {
+		w = *req.Weights
+	}
+	return &Monitor{req: req, plan: plan, weights: w}
+}
+
+// Plan returns the plan the monitor currently considers live.
+func (m *Monitor) Plan() Plan { return m.plan }
+
+// Weights returns the monitor's current (possibly recalibrated) weights.
+func (m *Monitor) Weights() Weights { return m.weights }
+
+// threshold returns the effective drift threshold.
+func (m *Monitor) threshold() float64 {
+	if m.Threshold > 0 {
+		return m.Threshold
+	}
+	return DefaultDriftThreshold
+}
+
+// Observe ingests the cumulative profile at a checkpoint boundary after
+// stepsDone completed steps. The first call establishes the baseline
+// window. Later calls diff against the previous boundary, compare the
+// measured short-range and mesh group costs per step against the model's
+// prediction, and — when either group drifts past the threshold —
+// recalibrate the weights from the measurement and re-plan.
+//
+// It returns the plan that should run from this boundary on and whether
+// that is a change. A changed plan must be installed through Switch at
+// this boundary (that is what keeps the retune bitwise-resumable); the
+// monitor assumes the caller does so.
+func (m *Monitor) Observe(p obs.Profile, stepsDone int64) (Plan, bool) {
+	if !m.haveBase {
+		m.base, m.baseSteps, m.haveBase = p, stepsDone, true
+		return m.plan, false
+	}
+	window := p.Delta(m.base)
+	steps := stepsDone - m.baseSteps
+	if steps <= 0 {
+		return m.plan, false
+	}
+	m.base, m.baseSteps = p, stepsDone
+
+	pred := m.weights.StepCost(m.req, m.plan)
+	predShort := shortGroup(pred)
+	predMesh := meshGroup(pred)
+	gotShort := float64(window.StageNs(obs.StageShortRange)+window.StageNs(obs.StageNeighbor)) / float64(steps)
+	gotMesh := float64(window.StageNs(obs.StageMesh)) / float64(steps)
+	if gotShort <= 0 || gotMesh <= 0 || predShort <= 0 || predMesh <= 0 {
+		return m.plan, false // window too small or untimed; nothing to learn
+	}
+	rShort := gotShort / predShort
+	rMesh := gotMesh / predMesh
+	t := 1 + m.threshold()
+	if rShort < t && 1/rShort < t && rMesh < t && 1/rMesh < t {
+		return m.plan, false
+	}
+
+	// Recalibrate: scale each group's weights by its measured ratio, then
+	// re-plan under the corrected model.
+	w := m.weights
+	w.PairNs *= rShort
+	w.SkinPairNs *= rShort
+	w.RebuildPairNs *= rShort
+	w.RebuildAtomNs *= rShort
+	w.CellPairNs *= rShort
+	w.CellAtomNs *= rShort
+	w.AssignNs *= rMesh
+	w.ConvNs *= rMesh
+	w.ConvDirectNs *= rMesh
+	w.FFTNs *= rMesh
+	w.GridNs *= rMesh
+	w.ExclNs *= rMesh
+	if w.validate() != nil {
+		return m.plan, false // a degenerate ratio (Inf/NaN) must not poison the model
+	}
+	req := m.req
+	req.Weights = &w
+	plan, err := PlanFor(req)
+	if err != nil {
+		// The budget became infeasible under honest weights: keep the most
+		// accurate plan we had rather than abandoning the run.
+		return m.plan, false
+	}
+	m.weights = w
+	m.req = req
+	if samePlanID(plan, m.plan) {
+		m.plan = plan // predictions refreshed, identity unchanged
+		return m.plan, false
+	}
+	m.plan = plan
+	return m.plan, true
+}
+
+// samePlanID reports whether two plans are the same run configuration,
+// ignoring the predicted error/cost annotations.
+func samePlanID(a, b Plan) bool {
+	a.PredErr, a.PredMs = 0, 0
+	b.PredErr, b.PredMs = 0, 0
+	return a == b
+}

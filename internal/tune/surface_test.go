@@ -1,0 +1,175 @@
+package tune
+
+import (
+	"bufio"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSurfaceMatchesTable1 cross-checks every embedded surface value
+// against the committed results/table1.csv, so the estimator can never
+// silently drift from the measured accuracy data it claims to encode.
+func TestSurfaceMatchesTable1(t *testing.T) {
+	f, err := os.Open("../../results/table1.csv")
+	if err != nil {
+		t.Skipf("golden table unavailable: %v", err)
+	}
+	defer f.Close()
+
+	rcs := surfaceRc()
+	gcs := surfaceGcs()
+	spmeErrs := surfaceSPME()
+	tmeErrs := surfaceTME()
+	rcIdx := func(rc float64) int {
+		for i, r := range rcs {
+			if math.Abs(r-rc) < 1e-9 {
+				return i
+			}
+		}
+		return -1
+	}
+	gcIdx := func(gc int) int {
+		for j, g := range gcs {
+			if g == gc {
+				return j
+			}
+		}
+		return -1
+	}
+
+	checked := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "method") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 5 {
+			continue
+		}
+		rc, _ := strconv.ParseFloat(parts[1], 64)
+		errVal, _ := strconv.ParseFloat(parts[4], 64)
+		i := rcIdx(rc)
+		if i < 0 {
+			t.Errorf("csv rc %v not in embedded surface", parts[1])
+			continue
+		}
+		var got float64
+		switch parts[0] {
+		case "SPME":
+			got = spmeErrs[i]
+		case "TME":
+			gc, _ := strconv.Atoi(parts[2])
+			m, _ := strconv.Atoi(parts[3])
+			j := gcIdx(gc)
+			if j < 0 || m < 1 || m > 4 {
+				t.Errorf("csv row %q outside embedded surface axes", line)
+				continue
+			}
+			got = tmeErrs[i][j][m-1]
+		default:
+			t.Errorf("unexpected method %q", parts[0])
+			continue
+		}
+		if got != errVal {
+			t.Errorf("%s rc=%v gc=%s M=%s: embedded %.4e != csv %.4e",
+				parts[0], parts[1], parts[2], parts[3], got, errVal)
+		}
+		checked++
+	}
+	if checked != 39 {
+		t.Errorf("cross-checked %d rows, want 39 (3 SPME + 36 TME)", checked)
+	}
+}
+
+// TestEstimatorReproducesSurfaceNodes checks that the interpolator is
+// exact at the measured points: querying the estimator at a surface
+// node's (g_c, M, x) must return the node's value (the u-series family
+// scaled by its shootout ratio).
+func TestEstimatorReproducesSurfaceNodes(t *testing.T) {
+	xs := surfaceXs()
+	gcs := surfaceGcs()
+	tme := surfaceTME()
+	spmeErrs := surfaceSPME()
+	for i, x := range xs {
+		got, ok := estimateSPME(x)
+		if !ok {
+			t.Fatalf("estimateSPME(%g) not ok", x)
+		}
+		if rel := math.Abs(got-spmeErrs[i]) / spmeErrs[i]; rel > 1e-9 {
+			t.Errorf("SPME at node x=%g: %.6e, want %.6e", x, got, spmeErrs[i])
+		}
+		for j, gc := range gcs {
+			for m := 1; m <= 4; m++ {
+				want := tme[i][j][m-1]
+				got, ok := estimateTME("gauss", gc, m, x)
+				if !ok {
+					t.Fatalf("estimateTME(gauss, %d, %d, %g) not ok", gc, m, x)
+				}
+				if rel := math.Abs(got-want) / want; rel > 1e-9 {
+					t.Errorf("TME gc=%d M=%d x=%g: %.6e, want %.6e", gc, m, x, got, want)
+				}
+				gotU, _ := estimateTME("useries", gc, m, x)
+				wantU := want * useriesRatio()[m-1]
+				if rel := math.Abs(gotU-wantU) / wantU; rel > 1e-9 {
+					t.Errorf("useries gc=%d M=%d x=%g: %.6e, want %.6e", gc, m, x, gotU, wantU)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimatorConservativeClamps checks the safety behaviour off the
+// surface: finer-than-measured meshes never get credited with errors
+// better than the surface floor times the safety factor, and unsupported
+// inputs report not-ok instead of guessing.
+func TestEstimatorConservativeClamps(t *testing.T) {
+	xs := surfaceXs()
+	xmin := math.Min(xs[2], math.Min(xs[0], xs[1]))
+
+	// Below the surface: clamped to the finest node × safety.
+	atMin, _ := estimateSPME(xmin)
+	below, _ := estimateSPME(xmin / 4)
+	if want := atMin * clampLowSafety; math.Abs(below-want)/want > 1e-9 {
+		t.Errorf("below-range SPME estimate %.4e, want clamp %.4e", below, want)
+	}
+	// Above the surface: extrapolated error grows with x.
+	atMax, _ := estimateSPME(surfaceXMax())
+	above, _ := estimateSPME(surfaceXMax() * 1.08)
+	if above <= atMax {
+		t.Errorf("above-range estimate %.4e not worse than at-max %.4e", above, atMax)
+	}
+
+	// Narrower kernel windows never predict better errors.
+	x := xs[0]
+	wide, _ := estimateTME("gauss", 12, 2, x)
+	narrow, _ := estimateTME("gauss", 4, 2, x)
+	if narrow < wide {
+		t.Errorf("g_c=4 estimate %.4e better than g_c=12 %.4e", narrow, wide)
+	}
+
+	// MSM carries its safety factor over the TME M=4 surface.
+	msmE, ok := estimateMSM(8, x)
+	tmeE, _ := estimateTME("gauss", 8, 4, x)
+	if !ok || msmE <= tmeE {
+		t.Errorf("MSM estimate %.4e not above TME M=4 %.4e", msmE, tmeE)
+	}
+
+	// Unsupported inputs: not-ok, never a guess.
+	if _, ok := estimateTME("gauss", 8, 5, x); ok {
+		t.Error("M=5 should be unsupported")
+	}
+	if _, ok := estimateTME("cubic", 8, 2, x); ok {
+		t.Error("unknown kernel should be unsupported")
+	}
+	if _, ok := estimateTME("gauss", 8, 2, math.NaN()); ok {
+		t.Error("NaN x should be unsupported")
+	}
+	if _, ok := estimateSPME(-1); ok {
+		t.Error("negative x should be unsupported")
+	}
+}

@@ -1,0 +1,224 @@
+package tune
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"tme4a/internal/vec"
+	"tme4a/internal/water"
+)
+
+func table1Request() Request {
+	return Request{Box: water.CubicBoxFor(4096), Atoms: 12288, ErrBudget: 1e-3}
+}
+
+// TestPlanForDeterministic re-plans the same request many times and
+// demands identical output — the property that lets a plan participate in
+// checkpoint config hashes.
+func TestPlanForDeterministic(t *testing.T) {
+	req := table1Request()
+	first, err := PlanFor(req)
+	if err != nil {
+		t.Fatalf("PlanFor: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		p, err := PlanFor(req)
+		if err != nil || p != first {
+			t.Fatalf("replan %d diverged: %+v (%v) != %+v", i, p, err, first)
+		}
+	}
+	c1, _ := Enumerate(req)
+	c2, _ := Enumerate(req)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Error("Enumerate is not deterministic")
+	}
+}
+
+// TestPlansValidateClean checks the planner's core contract: every
+// emitted plan passes Plan.Validate (which runs the same Params.Validate
+// the solver constructors enforce), and meets its budget by prediction.
+func TestPlansValidateClean(t *testing.T) {
+	req := table1Request()
+	for _, budget := range []float64{2e-3, 1e-3, 5e-4, 2e-4, 1e-4} {
+		req.ErrBudget = budget
+		p, err := PlanFor(req)
+		if err != nil {
+			t.Fatalf("budget %g: %v", budget, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("budget %g: plan %s invalid: %v", budget, p.String(), err)
+		}
+		if p.PredErr > budget {
+			t.Errorf("budget %g: plan %s predicts %.3e over budget", budget, p.String(), p.PredErr)
+		}
+		if _, err := p.NewSolver(req.Box); err != nil {
+			t.Errorf("budget %g: plan %s not constructible: %v", budget, p.String(), err)
+		}
+	}
+	// Every candidate — not just picks — validates.
+	req.ErrBudget = 1e-3
+	cands, err := Enumerate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 50 {
+		t.Errorf("only %d candidates at the Table-1 box; expected a dense enumeration", len(cands))
+	}
+	for _, c := range cands {
+		if err := c.Plan.Validate(); err != nil {
+			t.Errorf("candidate %s invalid: %v", c.Plan.String(), err)
+		}
+		if c.Cost.Total() <= 0 || c.PredMs <= 0 {
+			t.Errorf("candidate %s has non-positive cost", c.Plan.String())
+		}
+	}
+}
+
+// TestBudgetMonotonicity: loosening the budget never yields a slower
+// plan — the feasible set only grows.
+func TestBudgetMonotonicity(t *testing.T) {
+	req := table1Request()
+	prev := math.Inf(1)
+	for _, budget := range []float64{5e-5, 8e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 1e-2} {
+		req.ErrBudget = budget
+		p, err := PlanFor(req)
+		if err != nil {
+			var inf *InfeasibleError
+			if !errors.As(err, &inf) {
+				t.Fatalf("budget %g: unexpected error type %T", budget, err)
+			}
+			continue
+		}
+		if p.PredMs > prev+1e-9 {
+			t.Errorf("budget %g: plan %s costs %.2f ms, slower than tighter budget's %.2f",
+				budget, p.String(), p.PredMs, prev)
+		}
+		prev = p.PredMs
+	}
+}
+
+// TestRequestErrors checks the typed-error contract over the envelope
+// boundaries.
+func TestRequestErrors(t *testing.T) {
+	base := table1Request()
+	cases := []struct {
+		name   string
+		mutate func(*Request)
+	}{
+		{"zero box", func(r *Request) { r.Box = vec.Box{} }},
+		{"negative edge", func(r *Request) { r.Box.L[1] = -2 }},
+		{"nan edge", func(r *Request) { r.Box.L[0] = math.NaN() }},
+		{"tiny box", func(r *Request) { r.Box = vec.Cubic(0.2) }},
+		{"huge box", func(r *Request) { r.Box = vec.Cubic(500) }},
+		{"extreme aspect", func(r *Request) { r.Box = vec.NewBox(1, 1, 50) }},
+		{"no atoms", func(r *Request) { r.Atoms = 0 }},
+		{"negative atoms", func(r *Request) { r.Atoms = -5 }},
+		{"zero budget", func(r *Request) { r.ErrBudget = 0 }},
+		{"absurd budget", func(r *Request) { r.ErrBudget = 2 }},
+		{"nan budget", func(r *Request) { r.ErrBudget = math.NaN() }},
+		{"negative workers", func(r *Request) { r.Workers = -1 }},
+		{"bad weights", func(r *Request) { w := DefaultWeights(); w.PairNs = math.Inf(1); r.Weights = &w }},
+		{"zero drift", func(r *Request) { w := DefaultWeights(); w.DriftPerStep = 0; r.Weights = &w }},
+	}
+	for _, tc := range cases {
+		req := base
+		tc.mutate(&req)
+		_, err := PlanFor(req)
+		var re *RequestError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: got %v, want *RequestError", tc.name, err)
+		} else if re.Error() == "" {
+			t.Errorf("%s: empty error text", tc.name)
+		}
+	}
+}
+
+// TestInfeasibleBudget checks that impossible budgets surface the best
+// achievable alternative in a typed error.
+func TestInfeasibleBudget(t *testing.T) {
+	req := table1Request()
+	req.ErrBudget = 2e-6
+	_, err := PlanFor(req)
+	var inf *InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("got %v, want *InfeasibleError", err)
+	}
+	if !(inf.BestErr > 2e-6) {
+		t.Errorf("best achievable %.3e should exceed the infeasible budget", inf.BestErr)
+	}
+	if inf.Best.Method == "" {
+		t.Error("infeasible error does not carry the best plan")
+	}
+}
+
+// TestSmallBoxFallback: a box too small for the Table-1 cutoffs still
+// plans, with a proportional cutoff.
+func TestSmallBoxFallback(t *testing.T) {
+	req := Request{Box: vec.Cubic(1.6), Atoms: 150, ErrBudget: 2e-3}
+	p, err := PlanFor(req)
+	if err != nil {
+		t.Fatalf("small box: %v", err)
+	}
+	if p.Rc >= 0.49*1.6 {
+		t.Errorf("fallback cutoff %.3f too large for a 1.6 nm box", p.Rc)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("fallback plan invalid: %v", err)
+	}
+}
+
+// TestSlabsFollowWorkers: the slab count is the largest power of two
+// within the worker budget that keeps ≥ 2 planes per slab.
+func TestSlabsFollowWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		grid, workers, want int
+	}{
+		{32, 0, 1}, {32, 1, 1}, {32, 2, 2}, {32, 3, 2}, {32, 4, 4},
+		{32, 16, 16}, {32, 64, 16}, {8, 8, 4}, {16, 1000, 8},
+	} {
+		if got := slabsFor(tc.grid, tc.workers); got != tc.want {
+			t.Errorf("slabsFor(%d, %d) = %d, want %d", tc.grid, tc.workers, got, tc.want)
+		}
+	}
+	req := table1Request()
+	req.Workers = 4
+	p, err := PlanFor(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slabs != 4 {
+		t.Errorf("plan slabs = %d with 4 workers, want 4", p.Slabs)
+	}
+}
+
+// TestStepCostBreakdownShape: the scoring rows are positive, ordered,
+// and partition into the short-range and mesh groups the monitor diffs
+// against obs stage timings.
+func TestStepCostBreakdownShape(t *testing.T) {
+	req := table1Request()
+	cands, err := Enumerate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := DefaultWeights()
+	for _, c := range cands[:10] {
+		b := w.StepCost(req, c.Plan)
+		if b.Method != c.Method {
+			t.Errorf("breakdown method %q != plan method %q", b.Method, c.Method)
+		}
+		if got := b.Total() * 1e-6; math.Abs(got-c.PredMs) > 1e-9 {
+			t.Errorf("%s: breakdown total %.4f ms != PredMs %.4f", c.Plan.String(), got, c.PredMs)
+		}
+		if shortGroup(b) <= 0 || meshGroup(b) <= 0 {
+			t.Errorf("%s: empty stage group (short %.1f, mesh %.1f)",
+				c.Plan.String(), shortGroup(b), meshGroup(b))
+		}
+		for _, s := range b.Stages {
+			if s.Units <= 0 || s.Time < 0 {
+				t.Errorf("%s: bad stage row %+v", c.Plan.String(), s)
+			}
+		}
+	}
+}
